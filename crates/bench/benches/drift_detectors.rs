@@ -1,0 +1,70 @@
+//! Criterion micro-bench behind **Table II**: per-step wall-clock cost of
+//! the two Task-2 drift strategies across the paper's corpus dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sad_core::{
+    DriftDetector, FeatureVector, KswinDetector, MuSigmaChange, SlidingWindowSet,
+    TrainingSetStrategy,
+};
+use std::hint::black_box;
+
+fn window(t: usize, n: usize, w: usize) -> FeatureVector {
+    let data: Vec<f64> = (0..w * n).map(|i| (((t * 131 + i) as f64) * 0.37).sin()).collect();
+    FeatureVector::new(data, w, n)
+}
+
+/// Pre-fills a sliding-window strategy + detector pair and returns them
+/// ready for steady-state stepping.
+fn warmed(det: &mut dyn DriftDetector, n: usize, w: usize, m: usize) -> SlidingWindowSet {
+    let mut strat = SlidingWindowSet::new(m);
+    for t in 0..m {
+        let x = window(t, n, w);
+        let update = strat.update(&x, 0.0);
+        det.observe(&x, &update, strat.training_set());
+    }
+    det.on_fine_tune(strat.training_set());
+    strat
+}
+
+fn bench_drift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drift_per_step");
+    group.sample_size(20);
+    // (N, w, m): the three corpora at a harness-scale window plus the paper
+    // w=100 shape for the 9-channel case.
+    for &(n, w, m) in &[(9usize, 25usize, 40usize), (19, 25, 40), (38, 25, 40), (9, 100, 50)] {
+        group.bench_with_input(
+            BenchmarkId::new("mu_sigma", format!("N{n}_w{w}_m{m}")),
+            &(n, w, m),
+            |b, &(n, w, m)| {
+                let mut det = MuSigmaChange::new();
+                let mut strat = warmed(&mut det, n, w, m);
+                let mut t = m;
+                b.iter(|| {
+                    let x = window(t, n, w);
+                    t += 1;
+                    let update = strat.update(&x, 0.0);
+                    black_box(det.observe(&x, &update, strat.training_set()))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kswin", format!("N{n}_w{w}_m{m}")),
+            &(n, w, m),
+            |b, &(n, w, m)| {
+                let mut det = KswinDetector::new(0.01);
+                let mut strat = warmed(&mut det, n, w, m);
+                let mut t = m;
+                b.iter(|| {
+                    let x = window(t, n, w);
+                    t += 1;
+                    let update = strat.update(&x, 0.0);
+                    black_box(det.observe(&x, &update, strat.training_set()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drift);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! PCB-iForest micro-benches: forest construction, ensemble scoring with
+//! counter updates, and the drift rebuild — the model-side costs behind the
+//! PCB-iForest rows of Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sad_forest::{ExtendedIsolationForest, PcbIForest};
+use std::hint::black_box;
+
+fn points(count: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect()).collect()
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest");
+    group.sample_size(20);
+    for &dim in &[9usize, 38] {
+        let data = points(512, dim, 3);
+        group.bench_with_input(BenchmarkId::new("fit_100_trees", dim), &dim, |b, _| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                black_box(ExtendedIsolationForest::fit(&data, 100, 256, &mut rng));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("score_and_update", dim), &dim, |b, _| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut pcb = PcbIForest::fit(&data, 100, 256, 0.5, &mut rng);
+            let query = &data[7];
+            b.iter(|| black_box(pcb.score_and_update(query)));
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild_on_drift", dim), &dim, |b, _| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let drifted = points(512, dim, 4);
+            b.iter(|| {
+                let mut pcb = PcbIForest::fit(&data, 50, 128, 0.5, &mut rng);
+                for p in drifted.iter().take(50) {
+                    pcb.score_and_update(p);
+                }
+                black_box(pcb.rebuild_on_drift(&drifted, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

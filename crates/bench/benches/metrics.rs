@@ -1,0 +1,47 @@
+//! Metric-suite micro-benches: cost of the five paper metrics on a
+//! corpus-sized score stream. VUS is the expensive one (threshold sweep ×
+//! buffer sweep), which matters when Table III evaluates 78 runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sad_metrics::{best_f1, nab_score, pr_auc, vus_pr};
+use std::hint::black_box;
+
+fn scores_and_labels(len: usize) -> (Vec<f64>, Vec<bool>) {
+    let labels: Vec<bool> = (0..len).map(|t| (t / 100) % 9 == 4 && t % 100 < 30).collect();
+    let scores: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .map(|(t, &l)| {
+            let noise = ((t * 2654435761) % 1000) as f64 / 5000.0;
+            if l {
+                0.6 + noise
+            } else {
+                0.2 + noise
+            }
+        })
+        .collect();
+    (scores, labels)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (scores, labels) = scores_and_labels(10_000);
+    let mut group = c.benchmark_group("metrics_10k");
+    group.sample_size(20);
+    group.bench_function("pr_auc", |b| {
+        b.iter(|| black_box(pr_auc(&scores, &labels, 40)));
+    });
+    group.bench_function("best_f1", |b| {
+        b.iter(|| black_box(best_f1(&scores, &labels, 40)));
+    });
+    group.bench_function("vus_pr_buffer20", |b| {
+        b.iter(|| black_box(vus_pr(&scores, &labels, 20, 40)));
+    });
+    group.bench_function("nab", |b| {
+        let pred: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+        b.iter(|| black_box(nab_score(&pred, &labels)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

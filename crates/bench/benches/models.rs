@@ -1,0 +1,60 @@
+//! Per-model micro-benches: one `predict` and one `fine_tune` epoch for
+//! each of the paper's five models at the harness dimensions. These numbers
+//! size the end-to-end throughput expectations of the Table III sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sad_core::{FeatureVector, ModelKind};
+use sad_models::{build_model, BuildParams};
+use std::hint::black_box;
+
+fn windows(count: usize, w: usize, n: usize) -> Vec<FeatureVector> {
+    (0..count)
+        .map(|s| {
+            let data: Vec<f64> =
+                (0..w * n).map(|i| (((s * 61 + i) as f64) * 0.23).sin()).collect();
+            FeatureVector::new(data, w, n)
+        })
+        .collect()
+}
+
+fn params(w: usize, n: usize) -> BuildParams {
+    let config = sad_core::DetectorConfig {
+        window: w,
+        channels: n,
+        warmup: 10 * w,
+        initial_epochs: 1,
+        fine_tune_epochs: 1,
+    };
+    BuildParams::new(config).with_capacity(40)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (w, n) = (20usize, 9usize);
+    let train = windows(40, w, n);
+
+    let mut group = c.benchmark_group("model_predict");
+    group.sample_size(20);
+    for kind in ModelKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            let mut model = build_model(kind, &params(w, n));
+            model.fit_initial(&train, 1);
+            let x = &train[20];
+            b.iter(|| black_box(model.predict(x)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("model_fine_tune_epoch");
+    group.sample_size(10);
+    for kind in ModelKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            let mut model = build_model(kind, &params(w, n));
+            model.fit_initial(&train, 1);
+            b.iter(|| model.fine_tune(black_box(&train)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

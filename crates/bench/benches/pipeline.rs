@@ -1,0 +1,49 @@
+//! End-to-end pipeline throughput: steady-state steps/second of a full
+//! detector (model + strategy + drift + scorer) for one representative
+//! algorithm per model family — the numbers that size the Table III sweep
+//! and any real deployment of the framework on an edge device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sad_core::{paper_algorithms, DetectorConfig, ModelKind};
+use sad_models::{build_detector, BuildParams};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let n = 9;
+    let config = DetectorConfig {
+        window: 20,
+        channels: n,
+        warmup: 200,
+        initial_epochs: 2,
+        fine_tune_epochs: 1,
+    };
+    let params = BuildParams::new(config).with_capacity(40).with_kswin_stride(5);
+
+    let mut group = c.benchmark_group("pipeline_step");
+    group.sample_size(20);
+    for kind in ModelKind::all() {
+        let spec = paper_algorithms()
+            .into_iter()
+            .find(|s| s.model == kind)
+            .expect("every model appears in Table I");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &spec, |b, &spec| {
+            let mut det = build_detector(spec, &params);
+            // Warm up past the training phase.
+            let mut t = 0usize;
+            while !det.is_warmed_up() {
+                let s: Vec<f64> = (0..n).map(|j| ((t * 13 + j) as f64 * 0.21).sin()).collect();
+                det.step(&s);
+                t += 1;
+            }
+            b.iter(|| {
+                let s: Vec<f64> = (0..n).map(|j| ((t * 13 + j) as f64 * 0.21).sin()).collect();
+                t += 1;
+                black_box(det.step(&s))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Task-1 strategy micro-benches: per-step training-set update cost for
+//! SW / URES / ARES (the framework's only per-step bookkeeping besides the
+//! drift detectors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sad_core::{
+    AnomalyAwareReservoir, FeatureVector, SlidingWindowSet, TrainingSetStrategy, UniformReservoir,
+};
+use std::hint::black_box;
+
+type StrategyCtor = Box<dyn Fn() -> Box<dyn TrainingSetStrategy>>;
+
+fn window(t: usize, dim: usize) -> FeatureVector {
+    let data: Vec<f64> = (0..dim).map(|i| (((t * 17 + i) as f64) * 0.31).sin()).collect();
+    FeatureVector::new(data, dim, 1)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task1_update");
+    let dim = 200; // w=25, N=8 equivalent
+    let m = 50;
+    let make: Vec<(&str, StrategyCtor)> = vec![
+        ("SW", Box::new(move || Box::new(SlidingWindowSet::new(m)))),
+        ("URES", Box::new(move || Box::new(UniformReservoir::new(m, 1)))),
+        ("ARES", Box::new(move || Box::new(AnomalyAwareReservoir::new(m, 1)))),
+    ];
+    for (name, ctor) in &make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let mut strat = ctor();
+            // Pre-fill to steady state.
+            for t in 0..m {
+                strat.update(&window(t, dim), 0.1);
+            }
+            let mut t = m;
+            b.iter(|| {
+                let x = window(t, dim);
+                t += 1;
+                black_box(strat.update(&x, (t % 10) as f64 / 10.0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

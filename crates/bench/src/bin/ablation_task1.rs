@@ -1,0 +1,61 @@
+//! Ablation E6: the Task-1 strategy sweep.
+//!
+//! The paper observes (§V-B) that "in many cases, a performance increase
+//! can be observed for the anomaly-aware reservoir". This ablation holds
+//! model and Task-2 strategy fixed and sweeps SW / URES / ARES across all
+//! models and corpora.
+//!
+//! ```sh
+//! cargo run --release -p sad-bench --bin ablation_task1
+//! ```
+
+use sad_bench::{evaluate_spec, harness_params, HarnessScale, Table};
+use sad_core::{AlgorithmSpec, ModelKind, ScoreKind, Task1, Task2};
+use sad_data::{daphnet_like, smd_like, CorpusParams};
+
+fn main() {
+    let cp = CorpusParams { length: 1600, n_series: 1, anomalies_per_series: 4, with_drift: true };
+    let corpora = vec![daphnet_like(33, cp), smd_like(33, cp)];
+
+    let mut table = Table::new(&["Corpus", "Model", "SW AUC", "URES AUC", "ARES AUC", "winner"]);
+    let mut ares_wins = 0usize;
+    let mut ares_beats_sw = 0usize;
+    let mut rows = 0usize;
+    for corpus in &corpora {
+        let params = harness_params(corpus.series[0].channels(), HarnessScale::Quick);
+        for model in [ModelKind::OnlineArima, ModelKind::TwoLayerAe, ModelKind::Usad, ModelKind::NBeats] {
+            let auc_of = |task1: Task1| -> f64 {
+                let spec = AlgorithmSpec { model, task1, task2: Task2::MuSigma };
+                evaluate_spec(spec, &params, corpus, ScoreKind::AnomalyLikelihood).auc
+            };
+            let sw = auc_of(Task1::SlidingWindow);
+            let ures = auc_of(Task1::UniformReservoir);
+            let ares = auc_of(Task1::AnomalyAwareReservoir);
+            let winner = if ares >= sw && ares >= ures {
+                ares_wins += 1;
+                "ARES"
+            } else if sw >= ures {
+                "SW"
+            } else {
+                "URES"
+            };
+            if ares >= sw {
+                ares_beats_sw += 1;
+            }
+            rows += 1;
+            table.row(vec![
+                corpus.name.clone(),
+                model.label().to_string(),
+                format!("{sw:.3}"),
+                format!("{ures:.3}"),
+                format!("{ares:.3}"),
+                winner.to_string(),
+            ]);
+        }
+    }
+    println!("Task-1 strategy sweep (Task 2 fixed to μ/σ, anomaly likelihood scorer)\n");
+    println!("{}", table.render());
+    println!("ARES is the outright winner in {ares_wins}/{rows} cells and beats the");
+    println!("sliding window in {ares_beats_sw}/{rows} — the paper reports \"in many cases, a");
+    println!("performance increase ... for the anomaly-aware reservoir\".");
+}

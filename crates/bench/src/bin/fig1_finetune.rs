@@ -1,0 +1,154 @@
+//! Regenerates the paper's **Figure 1** experiment: after concept drift is
+//! detected (USAD model, sliding window, μ/σ-Change — the paper's exact
+//! combination, on a Daphnet-like series), two model arms are maintained —
+//! one fine-tuned on the newest training set, one frozen. An artificial
+//! anomaly is inserted ~90 steps after the fine-tuning session and both
+//! arms' nonconformity scores are compared.
+//!
+//! The figure's error bars are the difference between the average
+//! nonconformity before the anomaly and the maximum observed during it;
+//! the paper reports the fine-tuned arm's bar is clearly larger.
+//!
+//! ```sh
+//! cargo run --release -p sad-bench --bin fig1_finetune
+//! ```
+
+use sad_core::{Detector, DetectorConfig, MovingAverage, MuSigmaChange, SlidingWindowSet};
+use sad_data::{daphnet_like, inject_anomaly, inject_drift, AnomalyKind, CorpusParams, DriftKind};
+use sad_models::Usad;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A Daphnet-like series (the paper uses S03R01E0) with its usual
+    // mid-series drift but no pre-planted anomalies: we plant ours at a
+    // controlled offset after the drift reaction.
+    let params = CorpusParams {
+        length: 3000,
+        n_series: 1,
+        anomalies_per_series: 0,
+        with_drift: true,
+    };
+    let corpus = daphnet_like(42, params);
+    let mut series = corpus.series[0].clone();
+    let n = series.channels();
+    // The corpus ships an amplitude drift; a gait change also shifts the
+    // posture baseline, which is what makes the drift visible to the
+    // scale-invariant cosine nonconformity. Layer a mean shift on top.
+    inject_drift(&mut series, 1500, 400, DriftKind::MeanShift(5.0));
+
+    // The corpus drift ramps in at t = 1500 over a 400-step ramp; the
+    // μ/σ trigger (σ_t > 2σ_ref) crosses roughly two thirds into the ramp.
+    // Insert the artificial anomaly ~100 steps after that reaction point
+    // (paper: "from 90 - 110 after concept drift has been detected").
+    let drift_expected = 1500;
+    let anomaly_start = drift_expected + 550;
+    let mut rng = StdRng::seed_from_u64(7);
+    inject_anomaly(
+        &mut series,
+        anomaly_start,
+        20,
+        AnomalyKind::Tremor { amplitude: 8.0, period: 6.0 },
+        &[0, 1, 2, 3, 4, 5],
+        &mut rng,
+    );
+
+    let config = DetectorConfig {
+        window: 50, // the paper uses 100; 50 keeps the demo fast
+        channels: n,
+        warmup: 800,
+        initial_epochs: 10,
+        fine_tune_epochs: 2,
+    };
+    let mut adapted = Detector::new(
+        config,
+        Box::new(Usad::for_dim(50 * n, 3)),
+        Box::new(SlidingWindowSet::new(50)),
+        Box::new(MuSigmaChange::new()),
+        Box::new(MovingAverage::new(10)),
+    );
+
+    // Stream up to just before the drift, fork the frozen arm.
+    let fork_at = drift_expected - 10;
+    for s in series.data.iter().take(fork_at) {
+        adapted.step(s);
+    }
+    let mut frozen = adapted.clone();
+    frozen.freeze_model();
+
+    let mut adapted_trace = Vec::new();
+    let mut frozen_trace = Vec::new();
+    let mut first_fine_tune = None;
+    for (t, s) in series.data.iter().enumerate().skip(fork_at) {
+        // Fix both models before the anomaly so neither trains on it.
+        if t == anomaly_start - 50 {
+            adapted.freeze_model();
+        }
+        if let Some(o) = adapted.step(s) {
+            if o.fine_tuned && first_fine_tune.is_none() {
+                first_fine_tune = Some(t);
+            }
+            adapted_trace.push((t, o.nonconformity));
+        }
+        if let Some(o) = frozen.step(s) {
+            frozen_trace.push((t, o.nonconformity));
+        }
+    }
+
+    match first_fine_tune {
+        Some(t) => println!("concept drift detected; fine-tuning session at t = {t}"),
+        None => println!(
+            "warning: no fine-tune fired before the anomaly (drift triggers: {:?})",
+            adapted.drift_times()
+        ),
+    }
+    println!("artificial anomaly inserted at t = {anomaly_start}..{}", anomaly_start + 20);
+    println!();
+
+    let report = |name: &str, trace: &[(usize, f64)]| -> f64 {
+        let prior: Vec<f64> = trace
+            .iter()
+            .filter(|(t, _)| (anomaly_start - 120..anomaly_start - 5).contains(t))
+            .map(|&(_, a)| a)
+            .collect();
+        let avg = prior.iter().sum::<f64>() / prior.len().max(1) as f64;
+        // "the maximum score could be observed as long as [anomaly end +
+        // data representation length]" — windows containing anomaly rows.
+        let peak = trace
+            .iter()
+            .filter(|(t, _)| (anomaly_start..anomaly_start + 20 + 50).contains(t))
+            .map(|&(_, a)| a)
+            .fold(0.0f64, f64::max);
+        let bar = peak - avg;
+        println!(
+            "{name}: prior avg {avg:.4}, anomaly max {peak:.4}, error bar {bar:.4}, peak/prior {:.2}x",
+            peak / avg.max(1e-9)
+        );
+        bar
+    };
+    let bar_adapted = report("fine-tuned model", &adapted_trace);
+    let bar_frozen = report("frozen model    ", &frozen_trace);
+    println!();
+    if bar_adapted > bar_frozen {
+        println!(
+            "=> the fine-tuned model's error bar is larger ({:.3} vs {:.3}),",
+            bar_adapted, bar_frozen
+        );
+        println!("   reproducing the paper's Figure 1 conclusion.");
+    } else {
+        println!(
+            "=> error bars: fine-tuned {:.3} vs frozen {:.3} (paper expects fine-tuned larger)",
+            bar_adapted, bar_frozen
+        );
+    }
+
+    // Emit the traces as CSV for plotting.
+    let out = std::env::temp_dir().join("fig1_traces.csv");
+    let mut text = String::from("t,adapted,frozen\n");
+    for ((t, a), (_, f)) in adapted_trace.iter().zip(&frozen_trace) {
+        text.push_str(&format!("{t},{a},{f}\n"));
+    }
+    if std::fs::write(&out, text).is_ok() {
+        println!("traces written to {}", out.display());
+    }
+}

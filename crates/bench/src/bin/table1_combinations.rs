@@ -1,0 +1,30 @@
+//! Regenerates the paper's **Table I**: the overview of all 26 evaluated
+//! component combinations.
+//!
+//! ```sh
+//! cargo run -p sad-bench --bin table1_combinations
+//! ```
+
+use sad_bench::Table;
+use sad_core::paper_algorithms;
+
+fn main() {
+    let specs = paper_algorithms();
+    let mut table = Table::new(&["#", "Task 1", "Task 2", "ML model", "Nonconformity score", "Anomaly score"]);
+    for (i, spec) in specs.iter().enumerate() {
+        let scores =
+            spec.scores().iter().map(|s| s.label()).collect::<Vec<_>>().join(", ");
+        table.row(vec![
+            format!("{}", i + 1),
+            spec.task1.label().to_string(),
+            spec.task2.label().to_string(),
+            spec.model.label().to_string(),
+            spec.model.nonconformity().label().to_string(),
+            scores,
+        ]);
+    }
+    println!("Table I: overview of all combinations to be evaluated\n");
+    println!("{}", table.render());
+    println!("total distinct algorithms: {}", specs.len());
+    assert_eq!(specs.len(), 26, "the paper evaluates exactly 26 algorithms");
+}

@@ -1,0 +1,94 @@
+//! Minimal fixed-width table printer for the experiment binaries.
+
+/// A plain-text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with padded columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        if cols == 0 {
+            return String::new();
+        }
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a metric to two decimals (Table III style).
+pub fn m2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["longer-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a  "));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn m2_formats_two_decimals() {
+        assert_eq!(m2(0.5), "0.50");
+        assert_eq!(m2(-547.54321), "-547.54");
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        assert_eq!(Table::new(&[]).render(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

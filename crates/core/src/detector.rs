@@ -1,0 +1,348 @@
+//! The streaming detector pipeline: wires all four framework components
+//! plus the ML model into one `step`-per-stream-vector state machine.
+//!
+//! Lifecycle (matching the paper's experimental protocol, §V-B):
+//!
+//! 1. **Warm-up** — the first `warmup` stream steps only fill the data
+//!    representation and the training set (the paper builds the initial
+//!    training set from the first 5000 time steps). At the end of warm-up
+//!    the model is trained for `initial_epochs` and every drift detector
+//!    snapshots its reference statistics.
+//! 2. **Streaming** — for every subsequent stream vector:
+//!    representation → model prediction → nonconformity `a_t` → anomaly
+//!    score `f_t` → Task-1 training-set update (using `f_t`, which is what
+//!    ARES needs) → Task-2 drift check → optional fine-tune (one epoch, per
+//!    the Table I caption).
+
+use crate::drift::DriftDetector;
+use crate::model::StreamModel;
+use crate::nonconformity::nonconformity;
+use crate::repr::{DataRepresentation, RawWindow};
+use crate::score::AnomalyScorer;
+use crate::strategy::TrainingSetStrategy;
+
+/// Static configuration of a [`Detector`].
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Data representation length `w` (the paper's experiments use 100).
+    pub window: usize,
+    /// Channel count `N` of the stream.
+    pub channels: usize,
+    /// Number of initial stream steps used to build the first training set
+    /// (the paper uses 5000).
+    pub warmup: usize,
+    /// Epochs for the initial fit at the end of warm-up.
+    pub initial_epochs: usize,
+    /// Epochs per fine-tune after drift (the paper uses 1).
+    pub fine_tune_epochs: usize,
+}
+
+impl DetectorConfig {
+    /// A small configuration suitable for tests and examples.
+    pub fn small(channels: usize) -> Self {
+        Self { window: 10, channels, warmup: 100, initial_epochs: 5, fine_tune_epochs: 1 }
+    }
+
+    /// The paper's experimental configuration (`w = 100`, warm-up 5000).
+    pub fn paper(channels: usize) -> Self {
+        Self { window: 100, channels, warmup: 5000, initial_epochs: 10, fine_tune_epochs: 1 }
+    }
+}
+
+/// Per-step detector output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutput {
+    /// Stream time step (0-based).
+    pub t: usize,
+    /// Nonconformity score `a_t ∈ [0, 1]`.
+    pub nonconformity: f64,
+    /// Final anomaly score `f_t ∈ [0, 1]`.
+    pub anomaly_score: f64,
+    /// Whether the Task-2 detector flagged drift at this step.
+    pub drift: bool,
+    /// Whether the model was fine-tuned at this step.
+    pub fine_tuned: bool,
+}
+
+/// A complete streaming anomaly detector.
+#[derive(Clone)]
+pub struct Detector {
+    config: DetectorConfig,
+    repr: RawWindow,
+    model: Box<dyn StreamModel>,
+    strategy: Box<dyn TrainingSetStrategy>,
+    drift: Box<dyn DriftDetector>,
+    scorer: Box<dyn AnomalyScorer>,
+    t: usize,
+    warmed_up: bool,
+    drift_times: Vec<usize>,
+    fine_tunes: usize,
+}
+
+impl Detector {
+    /// Assembles a detector from its five components.
+    pub fn new(
+        config: DetectorConfig,
+        model: Box<dyn StreamModel>,
+        strategy: Box<dyn TrainingSetStrategy>,
+        drift: Box<dyn DriftDetector>,
+        scorer: Box<dyn AnomalyScorer>,
+    ) -> Self {
+        assert!(config.window > 0 && config.channels > 0, "window/channels must be positive");
+        assert!(
+            config.warmup >= config.window,
+            "warm-up ({}) must cover at least one window ({})",
+            config.warmup,
+            config.window
+        );
+        let repr = RawWindow::new(config.window, config.channels);
+        Self {
+            config,
+            repr,
+            model,
+            strategy,
+            drift,
+            scorer,
+            t: 0,
+            warmed_up: false,
+            drift_times: Vec::new(),
+            fine_tunes: 0,
+        }
+    }
+
+    /// Feeds one stream vector `s_t`; returns `None` during warm-up.
+    ///
+    /// # Panics
+    /// Panics if `s.len() != config.channels`.
+    pub fn step(&mut self, s: &[f64]) -> Option<StepOutput> {
+        let t = self.t;
+        self.t += 1;
+        let x = self.repr.push(s);
+
+        if !self.warmed_up {
+            if let Some(x) = &x {
+                // During warm-up everything is assumed normal (f_t = 0). The
+                // drift detector must still observe every update so its
+                // incremental statistics (running μ/σ, KSWIN sorted sets)
+                // track the training set; its verdict is ignored.
+                let update = self.strategy.update(x, 0.0);
+                let _ = self.drift.observe(x, &update, self.strategy.training_set());
+            }
+            if self.t >= self.config.warmup {
+                self.model.fit_initial(self.strategy.training_set(), self.config.initial_epochs);
+                self.drift.on_fine_tune(self.strategy.training_set());
+                self.warmed_up = true;
+            }
+            return None;
+        }
+
+        let x = x.expect("window is full after warm-up");
+        let output = self.model.predict(&x);
+        let a_t = nonconformity(&x, &output);
+        let f_t = self.scorer.update(a_t);
+        let update = self.strategy.update(&x, f_t);
+        let drift = self.drift.observe(&x, &update, self.strategy.training_set());
+        let mut fine_tuned = false;
+        if drift {
+            self.drift_times.push(t);
+            for _ in 0..self.config.fine_tune_epochs {
+                self.model.fine_tune(self.strategy.training_set());
+            }
+            // Re-anchor the drift reference even when the model is frozen
+            // (fine_tune_epochs = 0), so a frozen fork doesn't fire every
+            // step after the first drift.
+            self.drift.on_fine_tune(self.strategy.training_set());
+            fine_tuned = self.config.fine_tune_epochs > 0;
+            if fine_tuned {
+                self.fine_tunes += 1;
+            }
+        }
+        Some(StepOutput { t, nonconformity: a_t, anomaly_score: f_t, drift, fine_tuned })
+    }
+
+    /// Runs the detector over a whole series (`series[t]` is `s_t`).
+    ///
+    /// Returns one [`StepOutput`] per post-warm-up step.
+    pub fn run(&mut self, series: &[Vec<f64>]) -> Vec<StepOutput> {
+        series.iter().filter_map(|s| self.step(s)).collect()
+    }
+
+    /// Scores a whole labelled series and returns `(scores, offset)` where
+    /// `scores[i]` is the anomaly score for stream step `offset + i`.
+    pub fn score_series(&mut self, series: &[Vec<f64>]) -> (Vec<f64>, usize) {
+        let outputs = self.run(series);
+        let offset = outputs.first().map_or(series.len(), |o| o.t);
+        (outputs.into_iter().map(|o| o.anomaly_score).collect(), offset)
+    }
+
+    /// Disables fine-tuning: drift is still detected and recorded, but the
+    /// model parameters are never updated again.
+    ///
+    /// This is the "previous model, which is not finetuned" arm of the
+    /// paper's Figure 1 experiment — fork the detector with `clone()`,
+    /// freeze one fork, and stream the same data into both.
+    pub fn freeze_model(&mut self) {
+        self.config.fine_tune_epochs = 0;
+    }
+
+    /// Steps at which drift fired so far.
+    pub fn drift_times(&self) -> &[usize] {
+        &self.drift_times
+    }
+
+    /// Number of fine-tune sessions so far. Unlike [`Self::drift_times`],
+    /// this does not advance on drift events observed while the model is
+    /// frozen.
+    pub fn fine_tune_count(&self) -> usize {
+        self.fine_tunes
+    }
+
+    /// Whether warm-up has completed.
+    pub fn is_warmed_up(&self) -> bool {
+        self.warmed_up
+    }
+
+    /// Current stream time.
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// The embedded model (e.g. to inspect it in experiments).
+    pub fn model(&self) -> &dyn StreamModel {
+        self.model.as_ref()
+    }
+
+    /// The Task-1 strategy's current training set.
+    pub fn training_set(&self) -> &[crate::repr::FeatureVector] {
+        self.strategy.training_set()
+    }
+
+    /// Cumulative drift-detector operation tally (Table II).
+    pub fn drift_ops(&self) -> sad_stats::OpCount {
+        self.drift.ops()
+    }
+
+    /// Component names as `(model, task1, task2, scorer)` for reports.
+    pub fn component_names(&self) -> (&'static str, &'static str, &'static str, &'static str) {
+        (self.model.name(), self.strategy.name(), self.drift.name(), self.scorer.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::{MuSigmaChange, RegularInterval};
+    use crate::model::testing::{LastValueModel, PerfectReconstructor};
+    use crate::score::{MovingAverage, RawScore};
+    use crate::strategy::SlidingWindowSet;
+
+    fn smooth_series(len: usize) -> Vec<Vec<f64>> {
+        (0..len).map(|t| vec![(t as f64 * 0.05).sin(), (t as f64 * 0.05).cos()]).collect()
+    }
+
+    fn make_detector(warmup: usize) -> Detector {
+        let config = DetectorConfig {
+            window: 5,
+            channels: 2,
+            warmup,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        Detector::new(
+            config,
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(10)),
+            Box::new(MuSigmaChange::new()),
+            Box::new(MovingAverage::new(5)),
+        )
+    }
+
+    #[test]
+    fn warmup_produces_no_output() {
+        let mut det = make_detector(20);
+        let series = smooth_series(50);
+        let outputs = det.run(&series);
+        assert_eq!(outputs.len(), 30);
+        assert_eq!(outputs[0].t, 20);
+        assert!(det.is_warmed_up());
+    }
+
+    #[test]
+    fn perfect_model_scores_near_zero() {
+        let config = DetectorConfig { window: 4, channels: 2, warmup: 10, initial_epochs: 1, fine_tune_epochs: 1 };
+        let mut det = Detector::new(
+            config,
+            Box::new(PerfectReconstructor),
+            Box::new(SlidingWindowSet::new(5)),
+            Box::new(MuSigmaChange::new()),
+            Box::new(RawScore),
+        );
+        for out in det.run(&smooth_series(40)) {
+            assert!(out.anomaly_score < 1e-9, "perfect reconstruction → zero score");
+        }
+    }
+
+    #[test]
+    fn smooth_series_scores_low_for_forecaster() {
+        let mut det = make_detector(20);
+        let outputs = det.run(&smooth_series(200));
+        let mean: f64 =
+            outputs.iter().map(|o| o.anomaly_score).sum::<f64>() / outputs.len() as f64;
+        assert!(mean < 0.05, "slowly varying series is predictable, mean score {mean}");
+    }
+
+    #[test]
+    fn regular_interval_fine_tunes_model() {
+        let config = DetectorConfig { window: 3, channels: 2, warmup: 10, initial_epochs: 1, fine_tune_epochs: 1 };
+        let mut det = Detector::new(
+            config,
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(5)),
+            Box::new(RegularInterval::new(10)),
+            Box::new(RawScore),
+        );
+        let _ = det.run(&smooth_series(60));
+        // 50 post-warm-up steps with interval 10 -> 5 fine-tunes.
+        assert_eq!(det.fine_tune_count(), 5);
+        assert_eq!(det.drift_times(), &[19, 29, 39, 49, 59]);
+    }
+
+    #[test]
+    fn detector_is_cloneable_and_fork_diverges() {
+        let mut det = make_detector(20);
+        let series = smooth_series(100);
+        for s in series.iter().take(60) {
+            det.step(s);
+        }
+        let mut fork = det.clone();
+        // Same next input -> identical output on both.
+        let a = det.step(&series[60]).unwrap();
+        let b = fork.step(&series[60]).unwrap();
+        assert_eq!(a, b);
+        // Different inputs -> the forks diverge.
+        let c = det.step(&[5.0, -5.0]).unwrap();
+        let d = fork.step(&series[61]).unwrap();
+        assert_ne!(c.nonconformity, d.nonconformity);
+    }
+
+    #[test]
+    fn score_series_reports_offset() {
+        let mut det = make_detector(25);
+        let (scores, offset) = det.score_series(&smooth_series(70));
+        assert_eq!(offset, 25);
+        assert_eq!(scores.len(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up")]
+    fn warmup_shorter_than_window_panics() {
+        let config = DetectorConfig { window: 10, channels: 1, warmup: 5, initial_epochs: 1, fine_tune_epochs: 1 };
+        let _ = Detector::new(
+            config,
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(5)),
+            Box::new(MuSigmaChange::new()),
+            Box::new(RawScore),
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The model half of the reference parameters (paper Eq. 5).
+//!
+//! The extended framework generalizes SAFARI's reference *group* to
+//! reference *parameters* `θ_t = {θ_model, R_train,t}`. [`StreamModel`]
+//! abstracts over `θ_model`: the five paper models (online ARIMA,
+//! PCB-iForest, 2-layer AE, USAD, N-BEATS) live in the `sad-models` crate
+//! and implement this trait.
+
+use crate::repr::FeatureVector;
+
+/// What a model produces for a feature vector — determines which
+/// nonconformity formula applies (paper §IV-D).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelOutput {
+    /// A reconstruction `x̂_t` of the whole feature vector (autoencoders).
+    /// Must have the same flat dimensionality `w·N` as the input.
+    Reconstruction(Vec<f64>),
+    /// A forecast `ŝ_t` of the most recent stream vector (ARIMA, VAR,
+    /// N-BEATS). Must have dimensionality `N`.
+    Forecast(Vec<f64>),
+    /// A direct nonconformity score in `[0, 1]` (PCB-iForest's native
+    /// isolation score `2^{−E(h)/c(n)}`).
+    Score(f64),
+}
+
+/// A machine-learning model embedded in the streaming pipeline.
+///
+/// Lifecycle driven by [`crate::detector::Detector`]:
+/// 1. [`StreamModel::fit_initial`] once on the warm-up training set;
+/// 2. [`StreamModel::predict`] every stream step (streaming models such as
+///    PCB-iForest may update internal state here — hence `&mut self`);
+/// 3. [`StreamModel::fine_tune`] for one epoch whenever the Task-2 drift
+///    detector fires, on the then-current training set (paper Table I
+///    caption: "the ML model will be trained on the training set for one
+///    epoch").
+pub trait StreamModel {
+    /// Human-readable model name (e.g. `"USAD"`).
+    fn name(&self) -> &'static str;
+
+    /// Produces the model output for feature vector `x_t`.
+    fn predict(&mut self, x: &FeatureVector) -> ModelOutput;
+
+    /// Initial training on the warm-up training set.
+    fn fit_initial(&mut self, train: &[FeatureVector], epochs: usize);
+
+    /// One fine-tuning epoch on the current training set after drift.
+    fn fine_tune(&mut self, train: &[FeatureVector]);
+
+    /// Clones the model behind the trait object (needed by the Fig. 1
+    /// fine-tune-vs-frozen fork experiment).
+    fn clone_box(&self) -> Box<dyn StreamModel>;
+}
+
+impl Clone for Box<dyn StreamModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// A trivial forecasting model predicting the previous stream vector
+    /// (used across the core test suite).
+    #[derive(Debug, Clone, Default)]
+    pub struct LastValueModel {
+        pub fine_tune_calls: usize,
+        pub fit_calls: usize,
+    }
+
+    impl StreamModel for LastValueModel {
+        fn name(&self) -> &'static str {
+            "LastValue"
+        }
+
+        fn predict(&mut self, x: &FeatureVector) -> ModelOutput {
+            let prev = if x.w() >= 2 { x.step(x.w() - 2) } else { x.last_step() };
+            ModelOutput::Forecast(prev.to_vec())
+        }
+
+        fn fit_initial(&mut self, _train: &[FeatureVector], _epochs: usize) {
+            self.fit_calls += 1;
+        }
+
+        fn fine_tune(&mut self, _train: &[FeatureVector]) {
+            self.fine_tune_calls += 1;
+        }
+
+        fn clone_box(&self) -> Box<dyn StreamModel> {
+            Box::new(self.clone())
+        }
+    }
+
+    /// A model that reconstructs the input exactly (zero nonconformity).
+    #[derive(Debug, Clone, Default)]
+    pub struct PerfectReconstructor;
+
+    impl StreamModel for PerfectReconstructor {
+        fn name(&self) -> &'static str {
+            "PerfectReconstructor"
+        }
+
+        fn predict(&mut self, x: &FeatureVector) -> ModelOutput {
+            ModelOutput::Reconstruction(x.as_slice().to_vec())
+        }
+
+        fn fit_initial(&mut self, _train: &[FeatureVector], _epochs: usize) {}
+
+        fn fine_tune(&mut self, _train: &[FeatureVector]) {}
+
+        fn clone_box(&self) -> Box<dyn StreamModel> {
+            Box::new(self.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::*;
+    use super::*;
+
+    #[test]
+    fn boxed_model_clones() {
+        let model: Box<dyn StreamModel> = Box::new(LastValueModel::default());
+        let cloned = model.clone();
+        assert_eq!(cloned.name(), "LastValue");
+    }
+
+    #[test]
+    fn last_value_model_forecasts_previous_step() {
+        let mut m = LastValueModel::default();
+        let x = FeatureVector::new(vec![1.0, 2.0, 3.0], 3, 1);
+        match m.predict(&x) {
+            ModelOutput::Forecast(f) => assert_eq!(f, vec![2.0]),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perfect_reconstructor_echoes_input() {
+        let mut m = PerfectReconstructor;
+        let x = FeatureVector::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        match m.predict(&x) {
+            ModelOutput::Reconstruction(r) => assert_eq!(r, x.as_slice()),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The paper's Table I: the 26 evaluated component combinations.
+//!
+//! | Task 1 | Task 2 | Model | Nonconformity | Anomaly score |
+//! |---|---|---|---|---|
+//! | SW, URES, ARES | μ/σ, KS | Online ARIMA | Cosine | Avg, AL |
+//! | SW, ARES | KS | PCB-iForest | iForest | AL |
+//! | SW, URES, ARES | μ/σ, KS | 2-layer AE | Cosine | Avg, AL |
+//! | SW, URES, ARES | μ/σ, KS | USAD | Cosine | Avg, AL |
+//! | SW, URES, ARES | μ/σ, KS | N-BEATS | Cosine | Avg, AL |
+//!
+//! An *algorithm* in Table III is a `(model, task1, task2)` triple; results
+//! are averaged across both anomaly scores. That yields
+//! `4 models × 3 × 2 + 1 model × 2 × 1 = 26` distinct algorithms.
+//!
+//! This module only *names* the combinations; `sad-models` turns an
+//! [`AlgorithmSpec`] into a runnable [`crate::detector::Detector`].
+
+use crate::nonconformity::NonconformityKind;
+
+/// The five evaluated ML models (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Online ARIMA (Liu et al. 2016 approximation).
+    OnlineArima,
+    /// PCB-iForest (Heigl et al. 2021).
+    PcbIForest,
+    /// Two-layer reconstruction autoencoder.
+    TwoLayerAe,
+    /// USAD adversarial autoencoder (Audibert et al. 2020).
+    Usad,
+    /// N-BEATS forecaster (Oreshkin et al. 2020).
+    NBeats,
+}
+
+impl ModelKind {
+    /// Display label matching Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::OnlineArima => "Online ARIMA",
+            ModelKind::PcbIForest => "PCB-iForest",
+            ModelKind::TwoLayerAe => "2-layer AE",
+            ModelKind::Usad => "USAD",
+            ModelKind::NBeats => "N-BEATS",
+        }
+    }
+
+    /// The nonconformity measure tied to the model (Table I).
+    pub fn nonconformity(self) -> NonconformityKind {
+        match self {
+            ModelKind::PcbIForest => NonconformityKind::IForestScore,
+            _ => NonconformityKind::CosineSimilarity,
+        }
+    }
+
+    /// All five models in Table I order.
+    pub fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::OnlineArima,
+            ModelKind::TwoLayerAe,
+            ModelKind::Usad,
+            ModelKind::NBeats,
+            ModelKind::PcbIForest,
+        ]
+    }
+}
+
+/// Task-1 training-set strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task1 {
+    /// Sliding window.
+    SlidingWindow,
+    /// Uniform reservoir.
+    UniformReservoir,
+    /// Anomaly-aware reservoir.
+    AnomalyAwareReservoir,
+}
+
+impl Task1 {
+    /// Display label matching Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            Task1::SlidingWindow => "SW",
+            Task1::UniformReservoir => "URES",
+            Task1::AnomalyAwareReservoir => "ARES",
+        }
+    }
+}
+
+/// Task-2 drift strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task2 {
+    /// μ/σ-Change.
+    MuSigma,
+    /// KSWIN (per-channel two-sample KS test).
+    Kswin,
+}
+
+impl Task2 {
+    /// Display label matching Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            Task2::MuSigma => "μ/σ",
+            Task2::Kswin => "KS",
+        }
+    }
+}
+
+/// Anomaly scoring functions (§IV-E). Raw is the Table III baseline row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreKind {
+    /// Raw nonconformity pass-through.
+    Raw,
+    /// Moving average over `k` scores.
+    Average,
+    /// Numenta anomaly likelihood.
+    AnomalyLikelihood,
+}
+
+impl ScoreKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScoreKind::Raw => "Raw",
+            ScoreKind::Average => "Avg",
+            ScoreKind::AnomalyLikelihood => "AL",
+        }
+    }
+}
+
+/// One of the paper's 26 evaluated algorithms: a `(model, task1, task2)`
+/// combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlgorithmSpec {
+    /// The ML model.
+    pub model: ModelKind,
+    /// Training-set maintenance strategy.
+    pub task1: Task1,
+    /// Drift-detection strategy.
+    pub task2: Task2,
+}
+
+impl AlgorithmSpec {
+    /// Display label, e.g. `"USAD / ARES / KS"`.
+    pub fn label(&self) -> String {
+        format!("{} / {} / {}", self.model.label(), self.task1.label(), self.task2.label())
+    }
+
+    /// Anomaly scores this algorithm is evaluated with (Table I, last
+    /// column): PCB-iForest uses only the anomaly likelihood, everything
+    /// else averages over both.
+    pub fn scores(&self) -> &'static [ScoreKind] {
+        match self.model {
+            ModelKind::PcbIForest => &[ScoreKind::AnomalyLikelihood],
+            _ => &[ScoreKind::Average, ScoreKind::AnomalyLikelihood],
+        }
+    }
+}
+
+/// Enumerates the paper's 26 algorithms in Table III row order.
+pub fn paper_algorithms() -> Vec<AlgorithmSpec> {
+    let full = [Task1::SlidingWindow, Task1::UniformReservoir, Task1::AnomalyAwareReservoir];
+    let both = [Task2::MuSigma, Task2::Kswin];
+    let mut specs = Vec::with_capacity(26);
+    for model in
+        [ModelKind::OnlineArima, ModelKind::TwoLayerAe, ModelKind::Usad, ModelKind::NBeats]
+    {
+        for task1 in full {
+            for task2 in both {
+                specs.push(AlgorithmSpec { model, task1, task2 });
+            }
+        }
+    }
+    // PCB-iForest: SW and ARES, KSWIN only (its drift reaction is defined in
+    // terms of KSWIN in Heigl et al.).
+    for task1 in [Task1::SlidingWindow, Task1::AnomalyAwareReservoir] {
+        specs.push(AlgorithmSpec { model: ModelKind::PcbIForest, task1, task2: Task2::Kswin });
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn twenty_six_algorithms() {
+        assert_eq!(paper_algorithms().len(), 26);
+    }
+
+    #[test]
+    fn all_specs_distinct() {
+        let specs = paper_algorithms();
+        let unique: HashSet<_> = specs.iter().collect();
+        assert_eq!(unique.len(), 26);
+    }
+
+    #[test]
+    fn pcb_iforest_restricted_to_ks_and_two_strategies() {
+        for spec in paper_algorithms() {
+            if spec.model == ModelKind::PcbIForest {
+                assert_eq!(spec.task2, Task2::Kswin);
+                assert_ne!(spec.task1, Task1::UniformReservoir);
+                assert_eq!(spec.scores(), &[ScoreKind::AnomalyLikelihood]);
+            } else {
+                assert_eq!(spec.scores().len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn model_counts_match_table_one() {
+        let specs = paper_algorithms();
+        let count = |m: ModelKind| specs.iter().filter(|s| s.model == m).count();
+        assert_eq!(count(ModelKind::OnlineArima), 6);
+        assert_eq!(count(ModelKind::TwoLayerAe), 6);
+        assert_eq!(count(ModelKind::Usad), 6);
+        assert_eq!(count(ModelKind::NBeats), 6);
+        assert_eq!(count(ModelKind::PcbIForest), 2);
+    }
+
+    #[test]
+    fn nonconformity_assignment_matches_table_one() {
+        assert_eq!(ModelKind::PcbIForest.nonconformity(), NonconformityKind::IForestScore);
+        for m in [ModelKind::OnlineArima, ModelKind::TwoLayerAe, ModelKind::Usad, ModelKind::NBeats]
+        {
+            assert_eq!(m.nonconformity(), NonconformityKind::CosineSimilarity);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let spec = AlgorithmSpec {
+            model: ModelKind::Usad,
+            task1: Task1::AnomalyAwareReservoir,
+            task2: Task2::Kswin,
+        };
+        assert_eq!(spec.label(), "USAD / ARES / KS");
+    }
+}

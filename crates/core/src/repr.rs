@@ -1,0 +1,206 @@
+//! Data representation (paper Definition III.1).
+//!
+//! A stream `S = {s_1, …, s_t}` with `s_i ∈ R^N` is transformed into a
+//! feature vector `x_t = D(s_{t−w+1}, …, s_t)`. The paper's experiments use
+//! one representation — the raw window `x_t = [s_{t−w+1}, …, s_t]ᵀ` — since
+//! the ML models learn their own representations internally (§IV-A).
+
+use std::collections::VecDeque;
+
+/// A feature vector `x_t ∈ R^{w×N}`: the last `w` stream vectors, stored
+/// row-major as `data[step * n + channel]` (oldest step first, so the last
+/// row is `s_t`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    data: Vec<f64>,
+    w: usize,
+    n: usize,
+}
+
+impl FeatureVector {
+    /// Creates a feature vector from row-major window data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != w * n` or either dimension is zero.
+    pub fn new(data: Vec<f64>, w: usize, n: usize) -> Self {
+        assert!(w > 0 && n > 0, "feature vector dimensions must be positive");
+        assert_eq!(data.len(), w * n, "feature vector data length mismatch");
+        Self { data, w, n }
+    }
+
+    /// Representation length `w` (number of time steps).
+    #[inline]
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Channel count `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Flat dimensionality `w · N`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The flattened feature vector (reshaping operation `r(x_t)` of §IV-C).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The stream vector at window position `i` (`0` = oldest).
+    #[inline]
+    pub fn step(&self, i: usize) -> &[f64] {
+        assert!(i < self.w, "step index out of range");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The most recent stream vector `s_t`.
+    #[inline]
+    pub fn last_step(&self) -> &[f64] {
+        self.step(self.w - 1)
+    }
+
+    /// All `w` values of channel `j`, oldest first.
+    pub fn channel(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.n, "channel index out of range");
+        (0..self.w).map(|i| self.data[i * self.n + j]).collect()
+    }
+
+    /// `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// A data representation function `D` (Definition III.1).
+///
+/// Implementations consume the stream one vector at a time and emit a
+/// feature vector once enough history has accumulated.
+pub trait DataRepresentation {
+    /// Window length `w` this representation needs.
+    fn window(&self) -> usize;
+
+    /// Pushes stream vector `s_t`; returns `Some(x_t)` once `w` vectors
+    /// have been observed (and on every step thereafter).
+    fn push(&mut self, s: &[f64]) -> Option<FeatureVector>;
+
+    /// Clears the internal history.
+    fn reset(&mut self);
+}
+
+/// The paper's raw-window representation `x_t = [s_{t−w+1}, …, s_t]ᵀ`.
+#[derive(Debug, Clone)]
+pub struct RawWindow {
+    w: usize,
+    n: usize,
+    buffer: VecDeque<Vec<f64>>,
+}
+
+impl RawWindow {
+    /// Creates the representation for window length `w` over `n` channels.
+    pub fn new(w: usize, n: usize) -> Self {
+        assert!(w > 0 && n > 0, "window and channel count must be positive");
+        Self { w, n, buffer: VecDeque::with_capacity(w) }
+    }
+
+    /// Channel count `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl DataRepresentation for RawWindow {
+    fn window(&self) -> usize {
+        self.w
+    }
+
+    fn push(&mut self, s: &[f64]) -> Option<FeatureVector> {
+        assert_eq!(s.len(), self.n, "stream vector channel count mismatch");
+        if self.buffer.len() == self.w {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(s.to_vec());
+        if self.buffer.len() < self.w {
+            return None;
+        }
+        let mut data = Vec::with_capacity(self.w * self.n);
+        for row in &self.buffer {
+            data.extend_from_slice(row);
+        }
+        Some(FeatureVector::new(data, self.w, self.n))
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_agree_with_layout() {
+        // w=3 steps, n=2 channels.
+        let fv = FeatureVector::new(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0], 3, 2);
+        assert_eq!(fv.dim(), 6);
+        assert_eq!(fv.step(0), &[1.0, 10.0]);
+        assert_eq!(fv.last_step(), &[3.0, 30.0]);
+        assert_eq!(fv.channel(0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(fv.channel(1), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn raw_window_emits_after_w_steps() {
+        let mut repr = RawWindow::new(3, 1);
+        assert!(repr.push(&[1.0]).is_none());
+        assert!(repr.push(&[2.0]).is_none());
+        let x = repr.push(&[3.0]).expect("third push fills the window");
+        assert_eq!(x.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn raw_window_slides() {
+        let mut repr = RawWindow::new(2, 2);
+        repr.push(&[1.0, 1.5]);
+        repr.push(&[2.0, 2.5]);
+        let x = repr.push(&[3.0, 3.5]).unwrap();
+        assert_eq!(x.as_slice(), &[2.0, 2.5, 3.0, 3.5]);
+        assert_eq!(x.last_step(), &[3.0, 3.5]);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut repr = RawWindow::new(2, 1);
+        repr.push(&[1.0]);
+        repr.push(&[2.0]);
+        repr.reset();
+        assert!(repr.push(&[3.0]).is_none());
+    }
+
+    #[test]
+    fn is_finite_flags_nan() {
+        let ok = FeatureVector::new(vec![0.0; 4], 2, 2);
+        assert!(ok.is_finite());
+        let bad = FeatureVector::new(vec![0.0, f64::NAN, 0.0, 0.0], 2, 2);
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn wrong_channel_count_panics() {
+        let mut repr = RawWindow::new(2, 2);
+        let _ = repr.push(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn bad_data_length_panics() {
+        let _ = FeatureVector::new(vec![1.0; 5], 2, 2);
+    }
+}

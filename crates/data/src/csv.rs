@@ -1,0 +1,135 @@
+//! Plain-text CSV serialization for labelled series.
+//!
+//! Format: a header `t,ch0,…,chN-1,label`, then one row per step. This is
+//! deliberately the simplest possible interchange format so a user with
+//! access to the real Daphnet/Exathlon/SMD files can convert them and drop
+//! them into the harness in place of the synthetic stand-ins.
+
+use crate::dataset::LabeledSeries;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders a series to CSV text.
+pub fn to_csv(series: &LabeledSeries) -> String {
+    let n = series.channels();
+    let mut out = String::new();
+    out.push('t');
+    for c in 0..n {
+        let _ = write!(out, ",ch{c}");
+    }
+    out.push_str(",label\n");
+    for (t, (row, &label)) in series.data.iter().zip(&series.labels).enumerate() {
+        let _ = write!(out, "{t}");
+        for v in row {
+            let _ = write!(out, ",{v}");
+        }
+        let _ = writeln!(out, ",{}", u8::from(label));
+    }
+    out
+}
+
+/// Parses a series from CSV text (the format produced by [`to_csv`]).
+///
+/// # Errors
+/// Returns a descriptive error string on malformed input.
+pub fn from_csv(name: &str, text: &str) -> Result<LabeledSeries, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty CSV")?;
+    let columns = header.split(',').count();
+    if columns < 3 {
+        return Err(format!("header needs t, at least one channel, and label: {header:?}"));
+    }
+    let n = columns - 2;
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != columns {
+            return Err(format!("line {}: expected {columns} fields, got {}", lineno + 2, fields.len()));
+        }
+        let row: Result<Vec<f64>, _> = fields[1..=n].iter().map(|f| f.parse::<f64>()).collect();
+        let row = row.map_err(|e| format!("line {}: bad value: {e}", lineno + 2))?;
+        let label = match fields[columns - 1].trim() {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("line {}: bad label {other:?}", lineno + 2)),
+        };
+        data.push(row);
+        labels.push(label);
+    }
+    Ok(LabeledSeries::new(name, data, labels))
+}
+
+/// Writes a series to a CSV file.
+pub fn save_csv(series: &LabeledSeries, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_csv(series))
+}
+
+/// Reads a series from a CSV file; the file stem becomes the series name.
+pub fn load_csv(path: impl AsRef<Path>) -> io::Result<LabeledSeries> {
+    let path = path.as_ref();
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("series").to_string();
+    let text = fs::read_to_string(path)?;
+    from_csv(&name, &text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledSeries {
+        LabeledSeries::new(
+            "sample",
+            vec![vec![1.0, -2.5], vec![0.25, 3.0], vec![7.0, 0.0]],
+            vec![false, true, false],
+        )
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let s = sample();
+        let text = to_csv(&s);
+        let back = from_csv("sample", &text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn header_format() {
+        let text = to_csv(&sample());
+        assert!(text.starts_with("t,ch0,ch1,label\n"));
+        assert!(text.contains("\n1,0.25,3,1\n"));
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let s = sample();
+        let dir = std::env::temp_dir().join("sad_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        save_csv(&s, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back, s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_csv("x", "").is_err());
+        assert!(from_csv("x", "t,label\n0,0").is_err(), "no channels");
+        assert!(from_csv("x", "t,ch0,label\n0,1.0").is_err(), "missing field");
+        assert!(from_csv("x", "t,ch0,label\n0,abc,0").is_err(), "bad float");
+        assert!(from_csv("x", "t,ch0,label\n0,1.0,2").is_err(), "bad label");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let s = from_csv("x", "t,ch0,label\n0,1.0,0\n\n1,2.0,1\n").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![false, true]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Anomaly and concept-drift injection.
+//!
+//! Anomalies are written into an existing series **and** recorded in its
+//! label vector; drift changes the data only (drift is a change of the
+//! normal regime, not an anomaly — the distinction the paper's Task-2
+//! detectors exist to make).
+
+use crate::dataset::LabeledSeries;
+use crate::signal::standard_normal;
+use rand::Rng;
+
+/// Shapes of injected anomalies, mirroring the corpus-typical failure
+/// modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnomalyKind {
+    /// Additive spike of the given magnitude (in multiples of the channel's
+    /// recent amplitude).
+    Spike(f64),
+    /// Additive level shift for the whole interval.
+    LevelShift(f64),
+    /// Gaussian noise burst with the given σ multiplier.
+    NoiseBurst(f64),
+    /// Channel freezes at its value from the interval start (sensor hang).
+    Flatline,
+    /// Oscillation replaced by high-frequency tremor (the Daphnet
+    /// freezing-of-gait signature: locomotion band vanishes, 3–8 Hz tremor
+    /// appears).
+    Tremor {
+        /// Tremor amplitude.
+        amplitude: f64,
+        /// Tremor period in steps.
+        period: f64,
+    },
+}
+
+/// Gradual concept-drift shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftKind {
+    /// Mean shifts by the given offset.
+    MeanShift(f64),
+    /// Signal amplitude around the running mean scales by the factor.
+    AmplitudeScale(f64),
+}
+
+/// Injects an anomaly into `series.data[start..start+len)` on the given
+/// channels and marks the labels.
+///
+/// # Panics
+/// Panics if the interval exceeds the series or a channel is out of range.
+pub fn inject_anomaly(
+    series: &mut LabeledSeries,
+    start: usize,
+    len: usize,
+    kind: AnomalyKind,
+    channels: &[usize],
+    rng: &mut impl Rng,
+) {
+    assert!(len > 0, "anomaly length must be positive");
+    assert!(start + len <= series.len(), "anomaly interval exceeds series");
+    let n = series.channels();
+    assert!(channels.iter().all(|&c| c < n), "channel index out of range");
+
+    // Recent per-channel amplitude estimate for scale-aware injection
+    // (empty at start == 0, where the floor below applies).
+    let scales: Vec<f64> = channels
+        .iter()
+        .map(|&c| {
+            let lo = start.saturating_sub(100);
+            let vals: Vec<f64> = (lo..start).map(|t| series.data[t][c]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len().max(1) as f64;
+            var.sqrt().max(0.1)
+        })
+        .collect();
+
+    let frozen: Vec<f64> = channels.iter().map(|&c| series.data[start][c]).collect();
+    for t in start..start + len {
+        series.labels[t] = true;
+        for (i, &c) in channels.iter().enumerate() {
+            let v = &mut series.data[t][c];
+            match kind {
+                AnomalyKind::Spike(mag) => {
+                    // Spike peaks mid-interval.
+                    let rel = (t - start) as f64 / len as f64;
+                    let envelope = 1.0 - (2.0 * rel - 1.0).abs();
+                    *v += mag * scales[i] * envelope;
+                }
+                AnomalyKind::LevelShift(mag) => *v += mag * scales[i],
+                AnomalyKind::NoiseBurst(mult) => *v += mult * scales[i] * standard_normal(rng),
+                AnomalyKind::Flatline => *v = frozen[i],
+                AnomalyKind::Tremor { amplitude, period } => {
+                    *v = frozen[i]
+                        + amplitude
+                            * scales[i]
+                            * (2.0 * std::f64::consts::PI * (t - start) as f64 / period).sin();
+                }
+            }
+        }
+    }
+}
+
+/// Applies gradual drift to all channels from `at` onward, ramping linearly
+/// over `ramp` steps. Labels are untouched.
+pub fn inject_drift(series: &mut LabeledSeries, at: usize, ramp: usize, kind: DriftKind) {
+    assert!(at < series.len(), "drift onset exceeds series");
+    let n = series.channels();
+    // Running means per channel, for amplitude scaling around the mean.
+    let window = 200.min(at.max(1));
+    let means: Vec<f64> = (0..n)
+        .map(|c| {
+            let lo = at - window;
+            (lo..at).map(|t| series.data[t][c]).sum::<f64>() / window as f64
+        })
+        .collect();
+    for t in at..series.len() {
+        let progress = if ramp == 0 { 1.0 } else { ((t - at) as f64 / ramp as f64).min(1.0) };
+        for (v, &mean) in series.data[t].iter_mut().zip(&means) {
+            match kind {
+                DriftKind::MeanShift(offset) => *v += offset * progress,
+                DriftKind::AmplitudeScale(factor) => {
+                    let eff = 1.0 + (factor - 1.0) * progress;
+                    *v = mean + (*v - mean) * eff;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat_series(len: usize, n: usize, value: f64) -> LabeledSeries {
+        LabeledSeries::new("t", vec![vec![value; n]; len], vec![false; len])
+    }
+
+    #[test]
+    fn spike_marks_labels_and_peaks_mid_interval() {
+        let mut s = flat_series(200, 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        inject_anomaly(&mut s, 100, 10, AnomalyKind::Spike(5.0), &[0], &mut rng);
+        assert_eq!(s.anomaly_intervals(), vec![(100, 110)]);
+        let mid = s.data[105][0];
+        let edge = s.data[100][0];
+        assert!(mid > edge, "spike envelope peaks mid-interval: {mid} vs {edge}");
+        // Channel 1 untouched.
+        assert_eq!(s.data[105][1], 1.0);
+    }
+
+    #[test]
+    fn level_shift_is_constant_over_interval() {
+        let mut s = flat_series(100, 1, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        inject_anomaly(&mut s, 50, 20, AnomalyKind::LevelShift(3.0), &[0], &mut rng);
+        let shifted = s.data[55][0];
+        assert!(shifted > 2.0);
+        assert!((s.data[60][0] - shifted).abs() < 1e-12);
+        // Outside the interval the value is unchanged.
+        assert_eq!(s.data[49][0], 2.0);
+        assert_eq!(s.data[70][0], 2.0);
+    }
+
+    #[test]
+    fn flatline_freezes_at_start_value() {
+        let mut s = flat_series(100, 1, 0.0);
+        for (t, row) in s.data.iter_mut().enumerate() {
+            row[0] = (t as f64 * 0.3).sin();
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        inject_anomaly(&mut s, 40, 15, AnomalyKind::Flatline, &[0], &mut rng);
+        let frozen = s.data[40][0];
+        for t in 40..55 {
+            assert_eq!(s.data[t][0], frozen);
+        }
+    }
+
+    #[test]
+    fn tremor_oscillates_fast() {
+        let mut s = flat_series(200, 1, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        inject_anomaly(
+            &mut s,
+            100,
+            40,
+            AnomalyKind::Tremor { amplitude: 3.0, period: 8.0 },
+            &[0],
+            &mut rng,
+        );
+        // Sign changes of (v - base) indicate oscillation.
+        let base = s.data[100][0];
+        let crossings = (101..140)
+            .filter(|&t| (s.data[t][0] - base).signum() != (s.data[t - 1][0] - base).signum())
+            .count();
+        assert!(crossings >= 5, "tremor must oscillate, crossings {crossings}");
+    }
+
+    #[test]
+    fn noise_burst_raises_variance() {
+        let mut s = flat_series(300, 1, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        inject_anomaly(&mut s, 150, 50, AnomalyKind::NoiseBurst(4.0), &[0], &mut rng);
+        let var: f64 = (150..200)
+            .map(|t| (s.data[t][0] - 1.0) * (s.data[t][0] - 1.0))
+            .sum::<f64>()
+            / 50.0;
+        assert!(var > 0.01, "variance raised: {var}");
+    }
+
+    #[test]
+    fn drift_mean_shift_ramps_then_holds() {
+        let mut s = flat_series(300, 1, 0.0);
+        inject_drift(&mut s, 100, 50, DriftKind::MeanShift(10.0));
+        assert_eq!(s.data[99][0], 0.0);
+        assert!(s.data[125][0] > 4.0 && s.data[125][0] < 6.0, "mid-ramp ≈ 5");
+        assert!((s.data[200][0] - 10.0).abs() < 1e-9, "fully shifted");
+        // Drift never sets labels.
+        assert_eq!(s.anomaly_points(), 0);
+    }
+
+    #[test]
+    fn drift_amplitude_scale_preserves_mean() {
+        let mut s = flat_series(400, 1, 0.0);
+        for (t, row) in s.data.iter_mut().enumerate() {
+            row[0] = 5.0 + (t as f64 * 0.2).sin();
+        }
+        inject_drift(&mut s, 200, 0, DriftKind::AmplitudeScale(3.0));
+        let mean_after: f64 = (250..400).map(|t| s.data[t][0]).sum::<f64>() / 150.0;
+        assert!((mean_after - 5.0).abs() < 0.3, "mean preserved: {mean_after}");
+        let amp_after = (250..400).map(|t| (s.data[t][0] - 5.0).abs()).fold(0.0, f64::max);
+        assert!(amp_after > 2.0, "amplitude tripled: {amp_after}");
+    }
+
+    #[test]
+    fn anomaly_at_stream_start_is_handled() {
+        let mut s = flat_series(50, 1, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        inject_anomaly(&mut s, 0, 5, AnomalyKind::Spike(3.0), &[0], &mut rng);
+        assert_eq!(s.anomaly_intervals(), vec![(0, 5)]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series")]
+    fn out_of_range_anomaly_panics() {
+        let mut s = flat_series(10, 1, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        inject_anomaly(&mut s, 8, 5, AnomalyKind::Spike(1.0), &[0], &mut rng);
+    }
+}

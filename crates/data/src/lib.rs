@@ -1,0 +1,32 @@
+//! # sad-data
+//!
+//! Benchmark data for the streaming anomaly detection experiments.
+//!
+//! The paper evaluates on three multivariate corpora — Daphnet (freezing of
+//! gait), Exathlon (Spark cluster traces) and SMD (server machine metrics).
+//! None of them is redistributable inside this repository, so this crate
+//! generates **synthetic stand-ins** that preserve the structural
+//! properties the detectors and metrics exercise (see DESIGN.md,
+//! substitutions 1–3): multivariate channels with heterogeneous scales,
+//! interval-labelled anomalies of corpus-typical shapes and durations, and
+//! injected concept drift.
+//!
+//! * [`dataset`] — [`LabeledSeries`]/[`Corpus`] containers.
+//! * [`signal`] — deterministic-seeded base signal generators (sinusoid
+//!   mixtures, AR(1), random walks, level processes, spiky counters).
+//! * [`inject`] — anomaly injectors (spikes, level shifts, noise bursts,
+//!   flatlines, tremor) and gradual concept-drift injectors.
+//! * [`corpora`] — the three corpus generators, fully parameterized and
+//!   seeded for reproducibility.
+//! * [`csv`] — plain-text serialization so experiment outputs and inputs
+//!   can be inspected or swapped for the real datasets if available.
+
+pub mod corpora;
+pub mod csv;
+pub mod dataset;
+pub mod inject;
+pub mod signal;
+
+pub use corpora::{daphnet_like, exathlon_like, smd_like, CorpusParams};
+pub use dataset::{Corpus, LabeledSeries};
+pub use inject::{inject_anomaly, inject_drift, AnomalyKind, DriftKind};

@@ -1,0 +1,202 @@
+//! Base signal generators.
+//!
+//! Every generator is a small state machine driven by an external seeded
+//! RNG, so corpora are bit-reproducible. The generators mirror the channel
+//! archetypes found in the three target corpora: oscillatory accelerometer
+//! axes (Daphnet), piecewise-constant utilization levels and monotone
+//! counters (Exathlon), and autoregressive load plus spiky I/O channels
+//! (SMD).
+
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A sinusoid mixture channel: `Σ amp_i · sin(2π t / period_i + phase_i)`
+/// plus Gaussian noise.
+#[derive(Debug, Clone)]
+pub struct SineMix {
+    /// `(amplitude, period, phase)` per component.
+    pub components: Vec<(f64, f64, f64)>,
+    /// Additive Gaussian noise σ.
+    pub noise: f64,
+    /// Constant offset.
+    pub offset: f64,
+}
+
+impl SineMix {
+    /// Value at time `t`.
+    pub fn at(&self, t: usize, rng: &mut impl Rng) -> f64 {
+        let base: f64 = self
+            .components
+            .iter()
+            .map(|&(a, p, ph)| a * ((2.0 * std::f64::consts::PI * t as f64 / p) + ph).sin())
+            .sum();
+        self.offset + base + self.noise * standard_normal(rng)
+    }
+}
+
+/// A stationary AR(1) channel `v_t = c·v_{t−1} + ε_t`.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    /// Autoregressive coefficient in `(−1, 1)`.
+    pub coeff: f64,
+    /// Innovation noise σ.
+    pub noise: f64,
+    /// Mean level the process reverts around.
+    pub mean: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Creates the process at its mean.
+    pub fn new(coeff: f64, noise: f64, mean: f64) -> Self {
+        assert!(coeff.abs() < 1.0, "AR(1) coefficient must be in (−1, 1)");
+        Self { coeff, noise, mean, state: 0.0 }
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn next_value(&mut self, rng: &mut impl Rng) -> f64 {
+        self.state = self.coeff * self.state + self.noise * standard_normal(rng);
+        self.mean + self.state
+    }
+}
+
+/// A piecewise-constant "utilization level" channel: holds a level, jumps
+/// to a new uniform level with probability `jump_prob` per step.
+#[derive(Debug, Clone)]
+pub struct LevelProcess {
+    /// Per-step probability of jumping to a new level.
+    pub jump_prob: f64,
+    /// Level range.
+    pub lo: f64,
+    /// Level range.
+    pub hi: f64,
+    /// Observation noise σ.
+    pub noise: f64,
+    level: f64,
+}
+
+impl LevelProcess {
+    /// Creates the process starting mid-range.
+    pub fn new(jump_prob: f64, lo: f64, hi: f64, noise: f64) -> Self {
+        assert!(hi > lo, "level range must be non-empty");
+        Self { jump_prob, lo, hi, noise, level: (lo + hi) / 2.0 }
+    }
+
+    /// Advances one step.
+    pub fn next_value(&mut self, rng: &mut impl Rng) -> f64 {
+        if rng.random_range(0.0..1.0) < self.jump_prob {
+            self.level = rng.random_range(self.lo..self.hi);
+        }
+        self.level + self.noise * standard_normal(rng)
+    }
+}
+
+/// A mostly-quiet channel with occasional positive spikes (I/O bursts,
+/// request counters).
+#[derive(Debug, Clone)]
+pub struct SpikyProcess {
+    /// Baseline value.
+    pub base: f64,
+    /// Per-step spike probability.
+    pub spike_prob: f64,
+    /// Spike magnitude range.
+    pub spike_lo: f64,
+    /// Spike magnitude range.
+    pub spike_hi: f64,
+    /// Baseline noise σ.
+    pub noise: f64,
+}
+
+impl SpikyProcess {
+    /// Value at one step.
+    pub fn next_value(&mut self, rng: &mut impl Rng) -> f64 {
+        let spike = if rng.random_range(0.0..1.0) < self.spike_prob {
+            rng.random_range(self.spike_lo..self.spike_hi)
+        } else {
+            0.0
+        };
+        self.base + spike + self.noise * standard_normal(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sine_mix_is_periodic_without_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = SineMix { components: vec![(1.0, 50.0, 0.0)], noise: 0.0, offset: 2.0 };
+        let a = s.at(10, &mut rng);
+        let b = s.at(60, &mut rng);
+        assert!((a - b).abs() < 1e-9, "period 50: {a} vs {b}");
+        assert!((s.at(0, &mut rng) - 2.0).abs() < 1e-9, "offset at phase 0");
+    }
+
+    #[test]
+    fn ar1_reverts_to_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Ar1::new(0.9, 0.1, 5.0);
+        let values: Vec<f64> = (0..5000).map(|_| p.next_value(&mut rng)).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn level_process_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = LevelProcess::new(0.01, 10.0, 90.0, 0.0);
+        for _ in 0..2000 {
+            let v = p.next_value(&mut rng);
+            assert!((10.0..=90.0).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn level_process_actually_jumps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = LevelProcess::new(0.05, 0.0, 100.0, 0.0);
+        let values: Vec<f64> = (0..1000).map(|_| p.next_value(&mut rng)).collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            values.iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() > 5, "levels changed {} times", distinct.len());
+    }
+
+    #[test]
+    fn spiky_process_spikes_at_expected_rate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut p = SpikyProcess { base: 1.0, spike_prob: 0.02, spike_lo: 10.0, spike_hi: 20.0, noise: 0.1 };
+        let spikes = (0..10000).filter(|_| p.next_value(&mut rng) > 5.0).count();
+        assert!((100..400).contains(&spikes), "spikes {spikes} (expected ≈ 200)");
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let run = |seed: u64| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = Ar1::new(0.8, 0.5, 0.0);
+            (0..50).map(|_| p.next_value(&mut rng)).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,198 @@
+//! The extended-isolation-forest ensemble.
+
+use crate::tree::{average_path_length, IsolationTree};
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// An ensemble of [`IsolationTree`]s with the classic anomaly score
+/// `a(x) = 2^{−E(h(x))/c(ψ)}` where `ψ` is the per-tree subsample size.
+///
+/// Scores live in `(0, 1]`: ≈0.5 for average points, →1 for points isolated
+/// far earlier than expected, →0 for points deep inside dense regions — so
+/// the score doubles directly as the paper's iForest nonconformity measure.
+#[derive(Debug, Clone)]
+pub struct ExtendedIsolationForest {
+    trees: Vec<IsolationTree>,
+    sample_size: usize,
+    dim: usize,
+}
+
+impl ExtendedIsolationForest {
+    /// Default per-tree subsample size from the original isolation-forest
+    /// paper.
+    pub const DEFAULT_SAMPLE_SIZE: usize = 256;
+
+    /// Fits `n_trees` trees, each on a uniform subsample of at most
+    /// `sample_size` points, with the conventional depth cap
+    /// `ceil(log2(sample_size))`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `n_trees == 0`.
+    pub fn fit(data: &[Vec<f64>], n_trees: usize, sample_size: usize, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on no data");
+        assert!(n_trees > 0, "need at least one tree");
+        let dim = data[0].len();
+        let psi = sample_size.min(data.len()).max(2.min(data.len()));
+        let max_depth = (psi as f64).log2().ceil().max(1.0) as usize;
+        let trees = (0..n_trees)
+            .map(|_| {
+                let subsample: Vec<Vec<f64>> = if psi >= data.len() {
+                    data.to_vec()
+                } else {
+                    sample(rng, data.len(), psi).iter().map(|i| data[i].clone()).collect()
+                };
+                IsolationTree::fit(&subsample, max_depth, rng)
+            })
+            .collect();
+        Self { trees, sample_size: psi, dim }
+    }
+
+    /// Rebuilds with default sample size.
+    pub fn fit_default(data: &[Vec<f64>], n_trees: usize, rng: &mut impl Rng) -> Self {
+        Self::fit(data, n_trees, Self::DEFAULT_SAMPLE_SIZE, rng)
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` if the forest holds no trees (cannot happen via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Per-tree subsample size `ψ` used for score normalization.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Ensemble anomaly score `2^{−E(h(x))/c(ψ)}`.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        let mean_path: f64 =
+            self.trees.iter().map(|t| t.path_length(x)).sum::<f64>() / self.trees.len() as f64;
+        score_from_path(mean_path, self.sample_size)
+    }
+
+    /// Per-tree anomaly scores `2^{−h_i(x)/c(ψ)}` — the signal PCB-iForest
+    /// uses to judge each tree's individual contribution.
+    pub fn tree_scores(&self, x: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| score_from_path(t.path_length(x), self.sample_size)).collect()
+    }
+
+    /// Direct access to the trees (PCB rebuild keeps a subset).
+    pub fn trees(&self) -> &[IsolationTree] {
+        &self.trees
+    }
+
+    /// Replaces the tree set (used by the PCB partial rebuild).
+    pub(crate) fn set_trees(&mut self, trees: Vec<IsolationTree>) {
+        assert!(!trees.is_empty(), "forest must keep at least one tree");
+        self.trees = trees;
+    }
+}
+
+/// Converts a path length into the isolation-forest score given subsample
+/// size `psi`.
+pub(crate) fn score_from_path(path: f64, psi: usize) -> f64 {
+    let c = average_path_length(psi).max(1.0);
+    2f64.powf(-path / c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_blob(rng: &mut StdRng, n: usize, dim: usize, center: f64, spread: f64) -> Vec<Vec<f64>> {
+        use rand::Rng;
+        (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        let u1: f64 = rng.random_range(1e-9..1.0);
+                        let u2: f64 = rng.random_range(0.0..1.0);
+                        center
+                            + spread
+                                * (-2.0 * u1.ln()).sqrt()
+                                * (2.0 * std::f64::consts::PI * u2).cos()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outliers_score_higher_than_inliers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = gaussian_blob(&mut rng, 400, 4, 0.0, 1.0);
+        let forest = ExtendedIsolationForest::fit(&data, 50, 128, &mut rng);
+        let inlier_score = forest.score(&[0.0; 4]);
+        let outlier_score = forest.score(&[8.0; 4]);
+        assert!(
+            outlier_score > inlier_score + 0.1,
+            "outlier {outlier_score} vs inlier {inlier_score}"
+        );
+        assert!(outlier_score > 0.6);
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = gaussian_blob(&mut rng, 100, 2, 0.0, 1.0);
+        let forest = ExtendedIsolationForest::fit_default(&data, 25, &mut rng);
+        for p in &data {
+            let s = forest.score(p);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+        for s in forest.tree_scores(&data[0]) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn tree_scores_average_close_to_ensemble() {
+        // Mean of per-tree scores isn't exactly the ensemble score (geometric
+        // vs arithmetic aggregation) but must correlate strongly: for an
+        // extreme outlier both approach 1.
+        let mut rng = StdRng::seed_from_u64(17);
+        let data = gaussian_blob(&mut rng, 300, 3, 0.0, 0.5);
+        let forest = ExtendedIsolationForest::fit(&data, 40, 128, &mut rng);
+        let x = vec![50.0; 3];
+        let ens = forest.score(&x);
+        let per: Vec<f64> = forest.tree_scores(&x);
+        let mean = per.iter().sum::<f64>() / per.len() as f64;
+        assert!(ens > 0.55 && mean > 0.55, "ens {ens} mean {mean}");
+    }
+
+    #[test]
+    fn small_dataset_is_handled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let forest = ExtendedIsolationForest::fit(&data, 10, 256, &mut rng);
+        assert_eq!(forest.sample_size(), 3);
+        let s = forest.score(&[1.0]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 * 0.1, (i % 7) as f64]).collect();
+        let f1 = ExtendedIsolationForest::fit(&data, 20, 32, &mut StdRng::seed_from_u64(8));
+        let f2 = ExtendedIsolationForest::fit(&data, 20, 32, &mut StdRng::seed_from_u64(8));
+        assert_eq!(f1.score(&[3.0, 3.0]), f2.score(&[3.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_data_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = ExtendedIsolationForest::fit_default(&[], 5, &mut rng);
+    }
+}

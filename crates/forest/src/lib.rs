@@ -1,0 +1,26 @@
+//! # sad-forest
+//!
+//! Extended Isolation Forest and its streaming variant PCB-iForest.
+//!
+//! The paper's second model (§IV-C) is **PCB-iForest** (Heigl et al. 2021),
+//! an online isolation forest that scores every incoming stream vector,
+//! tracks each tree's contribution to the ensemble decision in a
+//! *performance counter*, and — once the KSWIN drift detector fires —
+//! discards every tree whose counter is non-positive and regrows it from the
+//! current sliding window.
+//!
+//! * [`tree`] — a single extended-isolation tree with *oblique* splits
+//!   `(s_t − p)·n ≤ 0` (Hariri et al. 2021), where `n` is a random
+//!   hyperplane slope and `p` a random intercept inside the bounding box.
+//! * [`forest`] — the ensemble and the classic isolation-forest anomaly
+//!   score `a_t = 2^{−E(h(x))/c(n)}` used as the model's nonconformity
+//!   measure (§IV-D).
+//! * [`pcb`] — performance-counter bookkeeping and partial rebuild.
+
+pub mod forest;
+pub mod pcb;
+pub mod tree;
+
+pub use forest::ExtendedIsolationForest;
+pub use pcb::PcbIForest;
+pub use tree::{average_path_length, IsolationTree};

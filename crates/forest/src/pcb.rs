@@ -1,0 +1,214 @@
+//! PCB-iForest: performance-counter-based streaming isolation forest.
+//!
+//! Heigl et al. (2021) keep one performance counter `pc_i` per tree. Every
+//! scored instance is first classified by the whole ensemble (score vs a
+//! fixed threshold); each tree is then judged by whether *its own* score
+//! agrees with the ensemble verdict: agreement increments `pc_i`,
+//! disagreement decrements it. When the (external) KSWIN drift detector
+//! fires, only trees with `pc_i > 0` survive; the discarded trees are
+//! regrown on the most recent window and *all* counters reset (paper §IV-C).
+
+use crate::forest::ExtendedIsolationForest;
+use rand::Rng;
+
+/// Streaming isolation forest with per-tree performance counters.
+#[derive(Debug, Clone)]
+pub struct PcbIForest {
+    forest: ExtendedIsolationForest,
+    counters: Vec<i64>,
+    threshold: f64,
+    n_trees: usize,
+    sample_size: usize,
+}
+
+impl PcbIForest {
+    /// Default ensemble-decision threshold: 0.5 is the textbook
+    /// isolation-forest boundary ("scores close to 1 indicate anomalies,
+    /// scores much smaller than 0.5 indicate normal points").
+    pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+    /// Builds the initial forest on `data`.
+    pub fn fit(
+        data: &[Vec<f64>],
+        n_trees: usize,
+        sample_size: usize,
+        threshold: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let forest = ExtendedIsolationForest::fit(data, n_trees, sample_size, rng);
+        let counters = vec![0; n_trees];
+        Self { forest, counters, threshold, n_trees, sample_size }
+    }
+
+    /// Ensemble anomaly score for `x` *and* performance-counter update.
+    ///
+    /// This is the streaming hot path: one call per stream step.
+    pub fn score_and_update(&mut self, x: &[f64]) -> f64 {
+        let tree_scores = self.forest.tree_scores(x);
+        let ensemble = self.forest.score(x);
+        let verdict = ensemble >= self.threshold;
+        for (pc, &s) in self.counters.iter_mut().zip(&tree_scores) {
+            let tree_verdict = s >= self.threshold;
+            // A tree "contributed positively" iff it votes with the ensemble.
+            if tree_verdict == verdict {
+                *pc += 1;
+            } else {
+                *pc -= 1;
+            }
+        }
+        ensemble
+    }
+
+    /// Score without touching the counters (pure inference).
+    pub fn score(&self, x: &[f64]) -> f64 {
+        self.forest.score(x)
+    }
+
+    /// Current performance counters, one per tree.
+    pub fn counters(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Number of trees in the ensemble (constant across rebuilds).
+    pub fn len(&self) -> usize {
+        self.n_trees
+    }
+
+    /// `true` if the ensemble holds no trees (cannot happen via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.n_trees == 0
+    }
+
+    /// Test-only hook to force a counter configuration.
+    #[cfg(test)]
+    pub(crate) fn set_counters(&mut self, values: Vec<i64>) {
+        assert_eq!(values.len(), self.counters.len());
+        self.counters = values;
+    }
+
+    /// Drift reaction: keep trees with `pc_i > 0`, regrow the rest on
+    /// `window`, reset all counters. Returns how many trees were discarded.
+    pub fn rebuild_on_drift(&mut self, window: &[Vec<f64>], rng: &mut impl Rng) -> usize {
+        let mut kept: Vec<_> = self
+            .forest
+            .trees()
+            .iter()
+            .zip(&self.counters)
+            .filter(|(_, &pc)| pc > 0)
+            .map(|(t, _)| t.clone())
+            .collect();
+        let discarded = self.n_trees - kept.len();
+        if discarded > 0 && !window.is_empty() {
+            let fresh =
+                ExtendedIsolationForest::fit(window, discarded, self.sample_size, rng);
+            kept.extend(fresh.trees().iter().cloned());
+        }
+        if kept.is_empty() {
+            // Pathological case: every tree disagreed with the ensemble and
+            // the window is empty. Keep the old forest rather than none.
+            kept = self.forest.trees().to_vec();
+        }
+        self.forest.set_trees(kept);
+        self.counters = vec![0; self.forest.len()];
+        self.n_trees = self.forest.len();
+        discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob(rng: &mut StdRng, n: usize, center: f64) -> Vec<Vec<f64>> {
+        use rand::Rng;
+        (0..n).map(|_| vec![center + rng.random_range(-0.5..0.5), center + rng.random_range(-0.5..0.5)]).collect()
+    }
+
+    #[test]
+    fn scoring_updates_counters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = blob(&mut rng, 200, 0.0);
+        let mut pcb = PcbIForest::fit(&data, 20, 64, 0.5, &mut rng);
+        assert!(pcb.counters().iter().all(|&c| c == 0));
+        for p in data.iter().take(50) {
+            pcb.score_and_update(p);
+        }
+        assert!(pcb.counters().iter().any(|&c| c != 0));
+        // Counters are bounded by the number of updates.
+        assert!(pcb.counters().iter().all(|&c| c.abs() <= 50));
+    }
+
+    #[test]
+    fn pure_score_leaves_counters_untouched() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = blob(&mut rng, 100, 0.0);
+        let pcb = PcbIForest::fit(&data, 10, 64, 0.5, &mut rng);
+        let before = pcb.counters().to_vec();
+        let _ = pcb.score(&data[0]);
+        assert_eq!(pcb.counters(), &before[..]);
+    }
+
+    #[test]
+    fn rebuild_discards_negative_trees_and_resets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = blob(&mut rng, 200, 0.0);
+        let mut pcb = PcbIForest::fit(&data, 30, 64, 0.5, &mut rng);
+        for p in data.iter().take(100) {
+            pcb.score_and_update(p);
+        }
+        let had_negative = pcb.counters().iter().any(|&c| c <= 0);
+        let new_data = blob(&mut rng, 200, 5.0); // drifted regime
+        let discarded = pcb.rebuild_on_drift(&new_data, &mut rng);
+        if had_negative {
+            assert!(discarded > 0);
+        }
+        assert_eq!(pcb.len(), 30, "tree count is restored after rebuild");
+        assert!(pcb.counters().iter().all(|&c| c == 0), "counters reset");
+    }
+
+    #[test]
+    fn rebuild_adapts_to_new_regime() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let old = blob(&mut rng, 300, 0.0);
+        let mut pcb = PcbIForest::fit(&old, 40, 128, 0.5, &mut rng);
+        // Force every tree to be judged useless so the rebuild regrows the
+        // whole ensemble on the drifted regime (drift-adaptation worst case).
+        pcb.set_counters(vec![-1; 40]);
+        let new = blob(&mut rng, 300, 6.0);
+        let score_before = pcb.score(&[6.0, 6.0]);
+        let discarded = pcb.rebuild_on_drift(&new, &mut rng);
+        assert_eq!(discarded, 40);
+        let score_after = pcb.score(&[6.0, 6.0]);
+        assert!(
+            score_after < score_before,
+            "after rebuild the new regime must look more normal: {score_before} -> {score_after}"
+        );
+    }
+
+    #[test]
+    fn unanimous_agreement_keeps_all_trees() {
+        // When every tree votes with the ensemble, all counters are positive
+        // and a drift rebuild discards nothing — the PCB rule judges trees
+        // only *relative to the ensemble*, not against ground truth.
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = blob(&mut rng, 200, 0.0);
+        let mut pcb = PcbIForest::fit(&data, 10, 64, 0.5, &mut rng);
+        pcb.set_counters(vec![5; 10]);
+        let discarded = pcb.rebuild_on_drift(&data, &mut rng);
+        assert_eq!(discarded, 0);
+    }
+
+    #[test]
+    fn outlier_still_detected_after_rebuild() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = blob(&mut rng, 300, 0.0);
+        let mut pcb = PcbIForest::fit(&data, 40, 128, 0.5, &mut rng);
+        for p in &data {
+            pcb.score_and_update(p);
+        }
+        pcb.rebuild_on_drift(&data, &mut rng);
+        assert!(pcb.score(&[20.0, 20.0]) > pcb.score(&[0.0, 0.0]));
+    }
+}

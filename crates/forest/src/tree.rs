@@ -1,0 +1,255 @@
+//! A single extended-isolation tree.
+//!
+//! Unlike the axis-parallel splits of the original isolation forest, the
+//! extended variant (Hariri et al. 2021) draws a random hyperplane: a slope
+//! `n` sampled from a standard normal in every dimension and an intercept
+//! point `p` drawn uniformly inside the bounding box of the node's data. A
+//! point `x` goes left when `(x − p)·n ≤ 0` — the branching rule quoted
+//! verbatim in the paper (§IV-C).
+
+use rand::Rng;
+
+/// Euler–Mascheroni constant (used by the harmonic-number approximation).
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Average path length `c(n)` of an unsuccessful BST search among `n`
+/// points: `2 H(n−1) − 2(n−1)/n`. This normalizes raw isolation depths into
+/// the `2^{−E(h)/c(n)}` score.
+pub fn average_path_length(n: usize) -> f64 {
+    match n {
+        0 | 1 => 0.0,
+        2 => 1.0,
+        _ => {
+            let nf = n as f64;
+            let harmonic = (nf - 1.0).ln() + EULER_GAMMA;
+            2.0 * harmonic - 2.0 * (nf - 1.0) / nf
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// Hyperplane slope `n` (one coefficient per dimension).
+        normal: Vec<f64>,
+        /// Intercept point `p` inside the node's bounding box.
+        intercept: Vec<f64>,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        /// Number of training points that ended in this leaf.
+        size: usize,
+    },
+}
+
+/// One extended-isolation tree over `dim`-dimensional points.
+#[derive(Debug, Clone)]
+pub struct IsolationTree {
+    root: Node,
+    dim: usize,
+}
+
+impl IsolationTree {
+    /// Builds a tree on `data` (each point `dim`-dimensional), splitting
+    /// until isolation or `max_depth`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or points have inconsistent dimensions.
+    pub fn fit(data: &[Vec<f64>], max_depth: usize, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot fit an isolation tree on no data");
+        let dim = data[0].len();
+        assert!(dim > 0, "points must have at least one dimension");
+        assert!(data.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = build(data, &indices, 0, max_depth, rng);
+        Self { root, dim }
+    }
+
+    /// Point dimensionality this tree was fit on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Path length of `x`: the depth at which `x` would be isolated, plus
+    /// the `c(leaf_size)` correction for unsplit leaves.
+    pub fn path_length(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let mut node = &self.root;
+        let mut depth = 0.0;
+        loop {
+            match node {
+                Node::Leaf { size } => return depth + average_path_length(*size),
+                Node::Internal { normal, intercept, left, right } => {
+                    let side: f64 =
+                        x.iter().zip(intercept).zip(normal).map(|((&xi, &pi), &ni)| (xi - pi) * ni).sum();
+                    node = if side <= 0.0 { left } else { right };
+                    depth += 1.0;
+                }
+            }
+        }
+    }
+
+    /// Number of internal nodes (for memory accounting in benches).
+    pub fn internal_nodes(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn build(data: &[Vec<f64>], indices: &[usize], depth: usize, max_depth: usize, rng: &mut impl Rng) -> Node {
+    if indices.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: indices.len() };
+    }
+    let dim = data[0].len();
+
+    // Bounding box of the node's points.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for &i in indices {
+        for (d, &v) in data[i].iter().enumerate() {
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    if lo.iter().zip(&hi).all(|(a, b)| a == b) {
+        // All points identical — no hyperplane can separate them.
+        return Node::Leaf { size: indices.len() };
+    }
+
+    // Draw random hyperplanes until one actually separates the points. A
+    // bounded retry count keeps adversarial data from looping forever; after
+    // that the branch terminates as a leaf.
+    const MAX_SPLIT_ATTEMPTS: usize = 16;
+    for _ in 0..MAX_SPLIT_ATTEMPTS {
+        // Random slope: standard-normal coefficient per dimension.
+        let normal: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+        // Random intercept uniform in the bounding box.
+        let intercept: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if l == h { l } else { rng.random_range(l..h) })
+            .collect();
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices.iter().partition(|&&i| {
+            data[i]
+                .iter()
+                .zip(&intercept)
+                .zip(&normal)
+                .map(|((&xi, &pi), &ni)| (xi - pi) * ni)
+                .sum::<f64>()
+                <= 0.0
+        });
+
+        if left_idx.is_empty() || right_idx.is_empty() {
+            continue;
+        }
+        return Node::Internal {
+            normal,
+            intercept,
+            left: Box::new(build(data, &left_idx, depth + 1, max_depth, rng)),
+            right: Box::new(build(data, &right_idx, depth + 1, max_depth, rng)),
+        };
+    }
+    Node::Leaf { size: indices.len() }
+}
+
+/// Standard normal sample via Box–Muller.
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cluster(center: f64, n: usize, dim: usize) -> Vec<Vec<f64>> {
+        // Deterministic low-discrepancy jitter around the center.
+        (0..n)
+            .map(|i| (0..dim).map(|d| center + ((i * 7 + d * 3) % 11) as f64 * 0.01).collect())
+            .collect()
+    }
+
+    #[test]
+    fn average_path_length_reference_values() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        assert_eq!(average_path_length(2), 1.0);
+        // c(256) ≈ 10.24 (a standard isolation-forest reference value).
+        assert!((average_path_length(256) - 10.24).abs() < 0.05);
+    }
+
+    #[test]
+    fn outlier_has_shorter_path() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut data = cluster(0.0, 128, 3);
+        data.push(vec![10.0, 10.0, 10.0]); // far outlier
+        let tree = IsolationTree::fit(&data, 16, &mut rng);
+        let inlier_path = tree.path_length(&data[0]);
+        let outlier_path = tree.path_length(&[10.0, 10.0, 10.0]);
+        assert!(
+            outlier_path < inlier_path,
+            "outlier {outlier_path} should isolate faster than inlier {inlier_path}"
+        );
+    }
+
+    #[test]
+    fn identical_points_become_single_leaf() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = vec![vec![1.0, 2.0]; 50];
+        let tree = IsolationTree::fit(&data, 16, &mut rng);
+        assert_eq!(tree.internal_nodes(), 0);
+        // Path length is c(50).
+        assert!((tree.path_length(&[1.0, 2.0]) - average_path_length(50)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let tree = IsolationTree::fit(&data, 3, &mut rng);
+        // With depth cap 3 there are at most 2^3 - 1 internal nodes.
+        assert!(tree.internal_nodes() <= 7);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = IsolationTree::fit(&[vec![1.0]], 8, &mut rng);
+        assert_eq!(tree.path_length(&[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_data_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = IsolationTree::fit(&[], 8, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn wrong_query_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = IsolationTree::fit(&[vec![1.0, 2.0], vec![3.0, 4.0]], 8, &mut rng);
+        let _ = tree.path_length(&[1.0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = cluster(0.0, 64, 2);
+        let t1 = IsolationTree::fit(&data, 10, &mut StdRng::seed_from_u64(9));
+        let t2 = IsolationTree::fit(&data, 10, &mut StdRng::seed_from_u64(9));
+        for p in &data {
+            assert_eq!(t1.path_length(p), t2.path_length(p));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Anomaly intervals (the paper's "anomaly sequences").
+//!
+//! Range-based metrics count *sequences* of anomalous time steps, not
+//! individual points. An [`Interval`] is half-open: `[start, end)`.
+
+/// A half-open index interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First index inside the interval.
+    pub start: usize,
+    /// One past the last index inside the interval.
+    pub end: usize,
+}
+
+impl Interval {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `end <= start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end > start, "interval must be non-empty: [{start}, {end})");
+        Self { start, end }
+    }
+
+    /// Number of time steps covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `false` by construction (intervals are non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if `t` lies inside the interval.
+    pub fn contains(&self, t: usize) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+
+    /// `true` if the two intervals share at least one index.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Extracts maximal runs of `true` as intervals.
+pub fn intervals_from_labels(labels: &[bool]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (t, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(t),
+            (false, Some(s)) => {
+                out.push(Interval::new(s, t));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(Interval::new(s, labels.len()));
+    }
+    out
+}
+
+/// Renders intervals back into a point-label vector of length `len`.
+/// Indices beyond `len` are clipped.
+pub fn labels_from_intervals(intervals: &[Interval], len: usize) -> Vec<bool> {
+    let mut labels = vec![false; len];
+    for iv in intervals {
+        for label in labels.iter_mut().take(iv.end.min(len)).skip(iv.start.min(len)) {
+            *label = true;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_runs() {
+        let labels = [false, true, true, false, true, false, false, true];
+        let ivs = intervals_from_labels(&labels);
+        assert_eq!(ivs, vec![Interval::new(1, 3), Interval::new(4, 5), Interval::new(7, 8)]);
+    }
+
+    #[test]
+    fn all_false_gives_no_intervals() {
+        assert!(intervals_from_labels(&[false; 10]).is_empty());
+        assert!(intervals_from_labels(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_true_gives_one_interval() {
+        assert_eq!(intervals_from_labels(&[true; 5]), vec![Interval::new(0, 5)]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let labels = vec![false, true, true, false, false, true, false];
+        let back = labels_from_intervals(&intervals_from_labels(&labels), labels.len());
+        assert_eq!(back, labels);
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = Interval::new(2, 5);
+        assert!(a.overlaps(&Interval::new(4, 8)));
+        assert!(a.overlaps(&Interval::new(0, 3)));
+        assert!(!a.overlaps(&Interval::new(5, 7)), "half-open: touching is not overlap");
+        assert!(a.contains(2) && a.contains(4) && !a.contains(5));
+    }
+
+    #[test]
+    fn clipping_out_of_range_intervals() {
+        let labels = labels_from_intervals(&[Interval::new(3, 100)], 5);
+        assert_eq!(labels, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_interval_panics() {
+        let _ = Interval::new(3, 3);
+    }
+}

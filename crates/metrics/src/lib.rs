@@ -1,0 +1,34 @@
+//! # sad-metrics
+//!
+//! Evaluation metrics for time-series anomaly detection (paper §V-A).
+//!
+//! The paper motivates three metric families and this crate implements all
+//! of them, plus the interval bookkeeping they share:
+//!
+//! * [`intervals`] — converting between point labels and anomaly
+//!   *sequences* (intervals), the unit of account for range-based metrics.
+//! * [`range_pr`] — range-based precision/recall after Hundman et al.
+//!   (2018): any positive prediction inside a true anomaly sequence counts
+//!   the whole sequence as detected; a predicted sequence with no overlap
+//!   is one false positive. [`mod@pr_auc`] sweeps the score threshold to build
+//!   the precision-recall curve and its area.
+//! * [`nab`] — the Numenta Anomaly Benchmark scoring function (Lavin &
+//!   Ahmad 2015) in the *point-wise* form the paper uses: a scaled sigmoid
+//!   rewards early detection inside each anomaly window, and every false
+//!   positive time step contributes `−1/|anomalies|` — which is exactly why
+//!   Table III pairs very negative NAB scores with high interval precision.
+//! * [`vus`] — volume under the surface (Paparrizos et al. 2022): the
+//!   threshold-free combination of point-wise ROC/PR analysis with a swept
+//!   buffer region around true anomaly sequences.
+
+pub mod intervals;
+pub mod nab;
+pub mod pr_auc;
+pub mod range_pr;
+pub mod vus;
+
+pub use intervals::{intervals_from_labels, labels_from_intervals, Interval};
+pub use nab::{best_nab, nab_score, NabReport};
+pub use pr_auc::{best_f1, pr_auc, pr_curve, PrPoint};
+pub use range_pr::{range_counts, range_precision_recall, RangeCounts};
+pub use vus::{range_auc_pr, range_auc_roc, vus_pr, vus_roc};

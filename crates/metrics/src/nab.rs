@@ -1,0 +1,267 @@
+//! The NAB scoring function (Lavin & Ahmad 2015) in the point-wise form the
+//! paper uses (§V-A, Table III caption).
+//!
+//! * Each true anomaly sequence is a *window*. The **earliest** detection
+//!   inside a window earns a scaled-sigmoid reward
+//!   `σ'(y) = 2/(1 + e^{5y}) − 1` with `y` the position relative to the
+//!   window end (`y = −1` at the window start → reward ≈ 0.99; `y = 0` at
+//!   the end → reward 0): earlier detection is better.
+//! * A window with no detection is a **miss** and costs `−1`.
+//! * **Every false-positive time step** costs the sigmoid tail value for
+//!   its distance past the most recent window (→ `−1` far away) — the
+//!   paper: "every time step in that interval contributes −1/|anomalies| to
+//!   the NAB score".
+//!
+//! The total is normalized by the number of windows, so a perfect detector
+//! scores ≈ 1, an all-miss detector −1, and long false-positive runs push
+//! the score to the large negative values seen in Table III (e.g. −547 for
+//! N-BEATS on Exathlon).
+
+use crate::intervals::intervals_from_labels;
+
+/// Breakdown of a NAB evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NabReport {
+    /// Final normalized score (≈1 perfect, −1 all missed, unbounded below
+    /// with false positives).
+    pub score: f64,
+    /// Sum of detection rewards over detected windows.
+    pub detection_reward: f64,
+    /// Number of windows missed entirely.
+    pub missed: usize,
+    /// Number of false-positive time steps.
+    pub fp_steps: usize,
+}
+
+/// The NAB scaled sigmoid `2/(1+e^{5y}) − 1`.
+fn scaled_sigmoid(y: f64) -> f64 {
+    2.0 / (1.0 + (5.0 * y).exp()) - 1.0
+}
+
+/// Scores thresholded detections against true anomaly windows.
+///
+/// `predictions[t]` is the binary detector output at step `t`; windows are
+/// the maximal runs of `labels`. Returns [`NabReport`]. With no true
+/// windows, the score is `0` minus the false-positive penalty (normalized
+/// as if one window existed).
+pub fn nab_score(predictions: &[bool], labels: &[bool]) -> NabReport {
+    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+    let windows = intervals_from_labels(labels);
+    let n_windows = windows.len().max(1) as f64;
+
+    let mut detection_reward = 0.0;
+    let mut missed = 0;
+    for w in &windows {
+        match (w.start..w.end).find(|&t| predictions[t]) {
+            Some(t) => {
+                let len = w.len() as f64;
+                // Position relative to the window end, −1 (start) … 0 (end).
+                let y = (t as f64 - (w.end - 1) as f64) / len.max(1.0);
+                detection_reward += scaled_sigmoid(y);
+            }
+            None => missed += 1,
+        }
+    }
+
+    // False positives: positive predictions outside every window.
+    let mut fp_steps = 0;
+    let mut fp_penalty = 0.0;
+    for (t, &p) in predictions.iter().enumerate() {
+        if !p || windows.iter().any(|w| w.contains(t)) {
+            continue;
+        }
+        fp_steps += 1;
+        // Distance past the most recent window, in units of that window's
+        // length; detections long after a window (or before any) cost −1.
+        let weight = match windows.iter().rev().find(|w| w.end <= t) {
+            Some(w) => {
+                let y = (t - (w.end - 1)) as f64 / w.len().max(1) as f64;
+                scaled_sigmoid(y) // negative for y > 0
+            }
+            None => -1.0,
+        };
+        fp_penalty += weight;
+    }
+
+    let score = (detection_reward - missed as f64 + fp_penalty) / n_windows;
+    NabReport { score, detection_reward, missed, fp_steps }
+}
+
+/// NAB score at the best threshold of an `n_thresholds`-point quantile
+/// sweep (mirroring how precision/recall are reported at the best-F1
+/// threshold — the paper does not specify its thresholding rule, so every
+/// metric gets its own best operating point, uniformly for all algorithms).
+///
+/// Returns `(threshold, report)`.
+pub fn best_nab(scores: &[f64], labels: &[bool], n_thresholds: usize) -> (f64, NabReport) {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return (0.0, nab_score(&[], &[]));
+    }
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = n_thresholds.max(2);
+    let mut thresholds: Vec<f64> = (0..n)
+        .map(|i| {
+            let pos = i as f64 / (n - 1) as f64 * (sorted.len() - 1) as f64;
+            sorted[pos.round() as usize]
+        })
+        .collect();
+    thresholds.push(sorted[sorted.len() - 1] + 1.0);
+    thresholds.dedup_by(|a, b| a == b);
+    let mut best: Option<(f64, NabReport)> = None;
+    for th in thresholds {
+        let pred: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
+        let report = nab_score(&pred, labels);
+        if best.as_ref().is_none_or(|(_, b)| report.score > b.score) {
+            best = Some((th, report));
+        }
+    }
+    best.expect("at least one threshold")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::Interval;
+    use crate::intervals::labels_from_intervals;
+
+    fn case(windows: &[Interval], detections: &[usize], len: usize) -> NabReport {
+        let labels = labels_from_intervals(windows, len);
+        let mut pred = vec![false; len];
+        for &d in detections {
+            pred[d] = true;
+        }
+        nab_score(&pred, &labels)
+    }
+
+    #[test]
+    fn sigmoid_reference_points() {
+        assert!((scaled_sigmoid(0.0)).abs() < 1e-12);
+        assert!(scaled_sigmoid(-1.0) > 0.98);
+        assert!(scaled_sigmoid(1.0) < -0.98);
+    }
+
+    #[test]
+    fn perfect_early_detection_scores_near_one() {
+        let r = case(&[Interval::new(50, 60)], &[50], 100);
+        assert!(r.score > 0.95, "score {}", r.score);
+        assert_eq!(r.missed, 0);
+        assert_eq!(r.fp_steps, 0);
+    }
+
+    #[test]
+    fn late_detection_scores_lower_but_positive() {
+        let early = case(&[Interval::new(50, 60)], &[50], 100);
+        let late = case(&[Interval::new(50, 60)], &[58], 100);
+        assert!(late.score < early.score);
+        assert!(late.score >= 0.0, "late but inside window: {}", late.score);
+    }
+
+    #[test]
+    fn missed_window_costs_one() {
+        let r = case(&[Interval::new(50, 60)], &[], 100);
+        assert!((r.score + 1.0).abs() < 1e-12);
+        assert_eq!(r.missed, 1);
+    }
+
+    #[test]
+    fn only_first_detection_in_window_counts() {
+        let single = case(&[Interval::new(50, 60)], &[52], 100);
+        let multi = case(&[Interval::new(50, 60)], &[52, 53, 54, 55], 100);
+        assert!((single.score - multi.score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_false_positive_costs_about_one_over_windows() {
+        // One window, one far FP step: ≈ (reward − 1)/1.
+        let clean = case(&[Interval::new(10, 20)], &[10], 200);
+        let with_fp = case(&[Interval::new(10, 20)], &[10, 150], 200);
+        let delta = clean.score - with_fp.score;
+        assert!((delta - 1.0).abs() < 0.05, "one far FP ≈ −1: delta {delta}");
+        assert_eq!(with_fp.fp_steps, 1);
+    }
+
+    #[test]
+    fn long_false_run_goes_deeply_negative() {
+        // The Table III phenomenon: a 500-step false run with 1 window →
+        // score ≈ −500.
+        let mut detections: Vec<usize> = (100..600).collect();
+        detections.push(20);
+        let r = case(&[Interval::new(10, 30)], &detections, 1000);
+        assert!(r.score < -400.0, "score {}", r.score);
+        assert_eq!(r.fp_steps, 500);
+    }
+
+    #[test]
+    fn fp_just_after_window_costs_less_than_far_fp() {
+        let near = case(&[Interval::new(10, 30)], &[15, 32], 300);
+        let far = case(&[Interval::new(10, 30)], &[15, 290], 300);
+        assert!(near.score > far.score, "{} vs {}", near.score, far.score);
+    }
+
+    #[test]
+    fn no_windows_no_predictions_is_zero() {
+        let r = nab_score(&[false; 50], &[false; 50]);
+        assert_eq!(r.score, 0.0);
+    }
+
+    #[test]
+    fn no_windows_predictions_penalized() {
+        let mut pred = vec![false; 50];
+        pred[10] = true;
+        let labels = vec![false; 50];
+        let r = nab_score(&pred, &labels);
+        assert!(r.score < 0.0);
+    }
+
+    #[test]
+    fn best_nab_beats_fixed_bad_threshold() {
+        // Scores: anomaly at 0.9, noise floor at 0.4 with occasional 0.5
+        // bumps — a 0.45 threshold drowns in FPs, the sweep finds better.
+        let mut scores = vec![0.4; 300];
+        let mut labels = vec![false; 300];
+        for t in 150..160 {
+            scores[t] = 0.9;
+            labels[t] = true;
+        }
+        for t in (0..300).step_by(7) {
+            if !labels[t] {
+                scores[t] = 0.5;
+            }
+        }
+        let naive = {
+            let pred: Vec<bool> = scores.iter().map(|&s| s >= 0.45).collect();
+            nab_score(&pred, &labels).score
+        };
+        let (th, report) = best_nab(&scores, &labels, 30);
+        assert!(report.score > naive, "sweep {} > naive {naive}", report.score);
+        assert!(th > 0.5, "best threshold above the bump floor: {th}");
+        assert!(report.score > 0.9, "clean detection is achievable: {}", report.score);
+    }
+
+    #[test]
+    fn best_nab_with_empty_input() {
+        let (th, report) = best_nab(&[], &[], 10);
+        assert_eq!(th, 0.0);
+        assert_eq!(report.score, 0.0);
+    }
+
+    #[test]
+    fn best_nab_never_below_predict_nothing() {
+        // "Predict nothing" is always in the sweep, so the best NAB is at
+        // least −1 (all windows missed, no FPs).
+        let scores: Vec<f64> = (0..200).map(|t| ((t * 37) % 100) as f64 / 100.0).collect();
+        let labels: Vec<bool> = (0..200).map(|t| (50..60).contains(&t)).collect();
+        let (_th, report) = best_nab(&scores, &labels, 20);
+        assert!(report.score >= -1.0, "score {}", report.score);
+    }
+
+    #[test]
+    fn two_windows_normalize() {
+        let r = case(&[Interval::new(10, 20), Interval::new(60, 70)], &[10, 60], 100);
+        assert!(r.score > 0.95, "both detected early: {}", r.score);
+        let r_half = case(&[Interval::new(10, 20), Interval::new(60, 70)], &[10], 100);
+        assert!((r_half.score - (r.score * 0.5 - 0.5)).abs() < 0.05, "one hit, one miss");
+    }
+}

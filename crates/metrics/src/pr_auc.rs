@@ -1,0 +1,220 @@
+//! Precision-recall curve and area, built on range-based counts.
+//!
+//! The paper reports the PR area under the curve (preferred over ROC
+//! because true negatives dominate anomaly detection workloads, §V-A).
+//! Thresholds sweep the *distinct score quantiles* so each curve point
+//! corresponds to a genuinely different decision boundary.
+
+use crate::range_pr::range_counts;
+
+/// One point of the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold generating this point.
+    pub threshold: f64,
+    /// Range-based precision.
+    pub precision: f64,
+    /// Range-based recall.
+    pub recall: f64,
+}
+
+/// Builds the PR curve by sweeping `n_thresholds` score quantiles.
+///
+/// # Panics
+/// Panics if `scores.len() != labels.len()`.
+pub fn pr_curve(scores: &[f64], labels: &[bool], n_thresholds: usize) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let truth = crate::intervals::intervals_from_labels(labels);
+    let thresholds = candidate_thresholds(scores, n_thresholds);
+    thresholds
+        .into_iter()
+        .map(|th| {
+            let pred: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
+            let c = range_counts(&pred, &truth);
+            // Curve convention: an empty prediction set has precision 1
+            // (no false positives were asserted), anchoring the high-
+            // threshold end of the curve.
+            let precision = if c.tp + c.fp == 0 { 1.0 } else { c.precision() };
+            PrPoint { threshold: th, precision, recall: c.recall() }
+        })
+        .collect()
+}
+
+/// Area under the range-based PR curve (trapezoidal over recall).
+///
+/// Points are sorted by recall; the curve is anchored at `(recall = 0,
+/// precision = max observed precision)` so a detector that only ever finds
+/// a few sequences perfectly still integrates sensibly.
+pub fn pr_auc(scores: &[f64], labels: &[bool], n_thresholds: usize) -> f64 {
+    let mut pts = pr_curve(scores, labels, n_thresholds);
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.sort_by(|a, b| a.recall.total_cmp(&b.recall).then(a.precision.total_cmp(&b.precision)));
+    let mut auc = 0.0;
+    let mut prev_r = 0.0;
+    let mut prev_p = pts.iter().map(|p| p.precision).fold(0.0f64, f64::max);
+    for p in &pts {
+        auc += (p.recall - prev_r) * 0.5 * (p.precision + prev_p);
+        prev_r = p.recall;
+        prev_p = p.precision;
+    }
+    auc.clamp(0.0, 1.0)
+}
+
+/// Best range-based F1 over the threshold sweep. Returns
+/// `(threshold, precision, recall, f1)`.
+pub fn best_f1(scores: &[f64], labels: &[bool], n_thresholds: usize) -> (f64, f64, f64, f64) {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let truth = crate::intervals::intervals_from_labels(labels);
+    let mut best = (0.0, 0.0, 0.0, -1.0);
+    // Descending sweep so F1 ties resolve to the most conservative
+    // (highest) threshold.
+    let mut thresholds = candidate_thresholds(scores, n_thresholds);
+    thresholds.sort_by(|a, b| b.total_cmp(a));
+    for th in thresholds {
+        let pred: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
+        let c = range_counts(&pred, &truth);
+        if c.f1() > best.3 {
+            best = (th, c.precision(), c.recall(), c.f1());
+        }
+    }
+    if best.3 < 0.0 {
+        best.3 = 0.0;
+    }
+    best
+}
+
+/// Distinct quantile thresholds, always including just-above-max (predict
+/// nothing). Thresholds at or below the minimum score are excluded: the
+/// resulting "predict everything" detector forms one giant run that
+/// overlaps any anomaly and scores a degenerate range precision/recall of
+/// 1/1 regardless of score quality.
+fn candidate_thresholds(scores: &[f64], n: usize) -> Vec<f64> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let min = sorted[0];
+    let n = n.max(2);
+    let mut out: Vec<f64> = (0..n)
+        .map(|i| {
+            let q = i as f64 / (n - 1) as f64;
+            let pos = q * (sorted.len() - 1) as f64;
+            sorted[pos.round() as usize]
+        })
+        .filter(|&th| th > min)
+        .collect();
+    out.push(sorted[sorted.len() - 1] + 1.0); // predict nothing
+    out.dedup_by(|a, b| a == b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic scores: high inside the anomaly, low outside.
+    fn separable() -> (Vec<f64>, Vec<bool>) {
+        let mut scores = vec![0.1; 100];
+        let mut labels = vec![false; 100];
+        for t in 40..50 {
+            scores[t] = 0.9;
+            labels[t] = true;
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn perfectly_separable_has_auc_one() {
+        let (scores, labels) = separable();
+        let auc = pr_auc(&scores, &labels, 20);
+        assert!(auc > 0.95, "auc {auc}");
+    }
+
+    #[test]
+    fn constant_scores_have_low_auc() {
+        let labels: Vec<bool> = (0..100).map(|t| (40..50).contains(&t)).collect();
+        let scores = vec![0.5; 100];
+        // All-or-nothing predictions: one threshold predicts everything (one
+        // giant overlapping run → precision 1, recall 1 in range terms!).
+        // This is a known range-metric artifact; the AUC is not inflated
+        // beyond the single point.
+        let auc = pr_auc(&scores, &labels, 10);
+        assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn inverted_scores_have_low_auc() {
+        let (mut scores, labels) = separable();
+        for s in &mut scores {
+            *s = 1.0 - *s;
+        }
+        let auc = pr_auc(&scores, &labels, 20);
+        assert!(auc < 0.6, "auc {auc}");
+    }
+
+    #[test]
+    fn best_f1_finds_separating_threshold() {
+        let (scores, labels) = separable();
+        let (th, p, r, f1) = best_f1(&scores, &labels, 20);
+        assert!(th > 0.1 && th <= 0.9, "threshold {th}");
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 1.0);
+        assert_eq!(f1, 1.0);
+    }
+
+    #[test]
+    fn noisy_scores_give_intermediate_auc() {
+        // Anomaly steps get score 0.6, normal alternates 0.1/0.7 — noisy FPs.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for t in 0..200 {
+            let anom = (100..110).contains(&t);
+            labels.push(anom);
+            scores.push(if anom {
+                0.6
+            } else if t % 10 == 0 {
+                0.7
+            } else {
+                0.1
+            });
+        }
+        let auc = pr_auc(&scores, &labels, 40);
+        assert!(auc > 0.05 && auc < 0.95, "auc {auc}");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(pr_auc(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    fn curve_points_are_valid() {
+        let (scores, labels) = separable();
+        for p in pr_curve(&scores, &labels, 15) {
+            assert!((0.0..=1.0).contains(&p.precision));
+            assert!((0.0..=1.0).contains(&p.recall));
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// AUC is always within [0, 1] for arbitrary score/label pairs.
+            #[test]
+            fn auc_in_unit_interval(
+                scores in proptest::collection::vec(0.0f64..1.0, 10..120),
+                seed in 0u64..1000,
+            ) {
+                let labels: Vec<bool> =
+                    (0..scores.len()).map(|i| (i as u64 * 31 + seed).is_multiple_of(7)).collect();
+                let auc = pr_auc(&scores, &labels, 15);
+                prop_assert!((0.0..=1.0).contains(&auc));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Range-based precision and recall (Hundman et al. 2018, as adopted in
+//! paper §V-A).
+//!
+//! * **TP** — a true anomaly sequence containing at least one positively
+//!   predicted time step;
+//! * **FN** — a true anomaly sequence containing none;
+//! * **FP** — a *predicted* sequence (maximal run of positive predictions)
+//!   with no overlap to any true anomaly sequence.
+//!
+//! A single long run of false predictions therefore counts as exactly one
+//! FP — the root of the Table III disparity between high interval precision
+//! and deeply negative point-wise NAB scores.
+
+use crate::intervals::{intervals_from_labels, Interval};
+
+/// Range-based confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RangeCounts {
+    /// True anomaly sequences detected.
+    pub tp: usize,
+    /// Predicted sequences with no overlap with any true sequence.
+    pub fp: usize,
+    /// True anomaly sequences missed entirely.
+    pub fn_: usize,
+}
+
+impl RangeCounts {
+    /// `tp / (tp + fp)`; `0.0` when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; `0.0` when there are no true sequences.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Computes range counts from point predictions and true anomaly intervals.
+pub fn range_counts(predictions: &[bool], truth: &[Interval]) -> RangeCounts {
+    let predicted_intervals = intervals_from_labels(predictions);
+    let mut counts = RangeCounts::default();
+    for t in truth {
+        let hit = (t.start..t.end.min(predictions.len())).any(|i| predictions[i]);
+        if hit {
+            counts.tp += 1;
+        } else {
+            counts.fn_ += 1;
+        }
+    }
+    for p in &predicted_intervals {
+        if !truth.iter().any(|t| t.overlaps(p)) {
+            counts.fp += 1;
+        }
+    }
+    counts
+}
+
+/// Convenience: `(precision, recall)` from point predictions and truth.
+pub fn range_precision_recall(predictions: &[bool], truth: &[Interval]) -> (f64, f64) {
+    let c = range_counts(predictions, truth);
+    (c.precision(), c.recall())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_detects_whole_sequence() {
+        let truth = vec![Interval::new(2, 6)];
+        let mut pred = vec![false; 10];
+        pred[4] = true;
+        let c = range_counts(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 0, 0));
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn missed_sequence_is_fn() {
+        let truth = vec![Interval::new(2, 6), Interval::new(8, 9)];
+        let mut pred = vec![false; 12];
+        pred[3] = true;
+        let c = range_counts(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 0, 1));
+        assert_eq!(c.recall(), 0.5);
+    }
+
+    #[test]
+    fn long_false_run_is_one_fp() {
+        // The Table III phenomenon: a 100-step false-positive run counts
+        // once for the range metric.
+        let truth = vec![Interval::new(500, 510)];
+        let mut pred = vec![false; 600];
+        for p in pred.iter_mut().take(400).skip(300) {
+            *p = true; // 100-step false run
+        }
+        pred[505] = true;
+        let c = range_counts(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 1, 0));
+        assert_eq!(c.precision(), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap_is_not_fp() {
+        // A predicted run straddling a boundary overlaps the truth → TP and
+        // no FP.
+        let truth = vec![Interval::new(5, 10)];
+        let mut pred = vec![false; 15];
+        for p in pred.iter_mut().take(7).skip(3) {
+            *p = true;
+        }
+        let c = range_counts(&pred, &truth);
+        assert_eq!((c.tp, c.fp, c.fn_), (1, 0, 0));
+    }
+
+    #[test]
+    fn no_predictions_scores_zero_precision_zero_recall() {
+        let truth = vec![Interval::new(1, 3)];
+        let c = range_counts(&[false; 5], &truth);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn no_truth_all_predictions_are_fp() {
+        let mut pred = vec![false; 10];
+        pred[2] = true;
+        pred[7] = true;
+        let c = range_counts(&pred, &[]);
+        assert_eq!((c.tp, c.fp, c.fn_), (0, 2, 0));
+    }
+
+    #[test]
+    fn f1_known_value() {
+        let c = RangeCounts { tp: 2, fp: 2, fn_: 0 };
+        // p = 0.5, r = 1.0 -> f1 = 2/3.
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

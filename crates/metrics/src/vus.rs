@@ -1,0 +1,285 @@
+//! Volume under the surface (Paparrizos et al. 2022; paper §V-A).
+//!
+//! VUS makes the evaluation parameter-free along two axes at once: the
+//! score threshold (as in ROC/PR AUC) and a *buffer region* of width `ℓ`
+//! around every true anomaly sequence. For one buffer width, the point
+//! labels are softened: positions inside a true sequence keep label 1,
+//! positions within `ℓ` steps of a boundary get a square-root ramp
+//! `(1 − d/ℓ)^{1/2}`, everything else 0. Range-aware rates are computed
+//! from these soft labels:
+//!
+//! ```text
+//! TPR_ℓ(θ) = Σ_t soft(t)·pred_θ(t) / Σ_t soft(t)
+//! FPR_ℓ(θ) = Σ_t (1 − soft(t))·pred_θ(t) / Σ_t (1 − soft(t))
+//! Prec_ℓ(θ) = Σ_t soft(t)·pred_θ(t) / |pred_θ|
+//! ```
+//!
+//! `R-AUC` integrates over thresholds; `VUS` additionally averages the
+//! R-AUC over `ℓ ∈ {0, …, L}` (trapezoidal), producing the volume. This
+//! follows the paper's description of "combining point-wise scores with the
+//! information of overlapping predicted and true anomaly sequences" while
+//! keeping the implementation self-contained; the existence-reward variant
+//! of the original differs by an additive per-sequence term that does not
+//! change orderings on the corpora used here.
+
+use crate::intervals::intervals_from_labels;
+
+/// Soft labels for buffer width `ell` (`ell = 0` reproduces the hard
+/// labels).
+fn soft_labels(labels: &[bool], ell: usize) -> Vec<f64> {
+    let mut soft: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+    if ell == 0 {
+        return soft;
+    }
+    let intervals = intervals_from_labels(labels);
+    for iv in &intervals {
+        // Ramp before the start.
+        for d in 1..=ell {
+            if iv.start < d {
+                break;
+            }
+            let t = iv.start - d;
+            let v = (1.0 - d as f64 / ell as f64).max(0.0).sqrt();
+            soft[t] = soft[t].max(v);
+        }
+        // Ramp after the end.
+        for d in 1..=ell {
+            let t = iv.end - 1 + d;
+            if t >= soft.len() {
+                break;
+            }
+            let v = (1.0 - d as f64 / ell as f64).max(0.0).sqrt();
+            soft[t] = soft[t].max(v);
+        }
+    }
+    soft
+}
+
+/// Threshold sweep shared by the ROC and PR surfaces.
+fn sweep(scores: &[f64], soft: &[f64], n_thresholds: usize) -> Vec<(f64, f64, f64)> {
+    // Returns (tpr, fpr, precision) per threshold, thresholds descending.
+    let total_pos: f64 = soft.iter().sum();
+    let total_neg: f64 = soft.iter().map(|s| 1.0 - s).sum();
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let n = n_thresholds.max(2);
+    let mut out = Vec::with_capacity(n + 1);
+    let mut thresholds: Vec<f64> = (0..n)
+        .map(|i| sorted[(i as f64 / (n - 1) as f64 * (sorted.len() - 1) as f64).round() as usize])
+        .collect();
+    thresholds.insert(0, sorted[0] + 1.0); // predict nothing
+    thresholds.dedup_by(|a, b| a == b);
+    for th in thresholds {
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut pred_count = 0usize;
+        for (&s, &l) in scores.iter().zip(soft) {
+            if s >= th {
+                tp += l;
+                fp += 1.0 - l;
+                pred_count += 1;
+            }
+        }
+        let tpr = if total_pos > 0.0 { tp / total_pos } else { 0.0 };
+        let fpr = if total_neg > 0.0 { fp / total_neg } else { 0.0 };
+        let prec = if pred_count > 0 { tp / pred_count as f64 } else { 1.0 };
+        out.push((tpr, fpr, prec));
+    }
+    out
+}
+
+/// Range-aware ROC AUC for a single buffer width.
+pub fn range_auc_roc(scores: &[f64], labels: &[bool], ell: usize, n_thresholds: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let soft = soft_labels(labels, ell);
+    let pts = sweep(scores, &soft, n_thresholds);
+    // Integrate TPR over FPR (points ordered by decreasing threshold →
+    // increasing FPR).
+    let mut auc = 0.0;
+    let mut prev = (0.0, 0.0); // (fpr, tpr)
+    for &(tpr, fpr, _) in &pts {
+        auc += (fpr - prev.0) * 0.5 * (tpr + prev.1);
+        prev = (fpr, tpr);
+    }
+    auc += (1.0 - prev.0) * 0.5 * (1.0 + prev.1); // close the curve at (1,1)
+    auc.clamp(0.0, 1.0)
+}
+
+/// Range-aware PR AUC for a single buffer width.
+pub fn range_auc_pr(scores: &[f64], labels: &[bool], ell: usize, n_thresholds: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let soft = soft_labels(labels, ell);
+    let pts = sweep(scores, &soft, n_thresholds);
+    let mut auc = 0.0;
+    let mut prev = (0.0, 1.0); // (recall, precision) anchor
+    for &(tpr, _, prec) in &pts {
+        auc += (tpr - prev.0) * 0.5 * (prec + prev.1);
+        prev = (tpr, prec);
+    }
+    auc.clamp(0.0, 1.0)
+}
+
+/// VUS-ROC: [`range_auc_roc`] averaged over buffer widths `0..=max_buffer`.
+pub fn vus_roc(scores: &[f64], labels: &[bool], max_buffer: usize, n_thresholds: usize) -> f64 {
+    vus(scores, labels, max_buffer, n_thresholds, range_auc_roc)
+}
+
+/// VUS-PR: [`range_auc_pr`] averaged over buffer widths `0..=max_buffer`.
+pub fn vus_pr(scores: &[f64], labels: &[bool], max_buffer: usize, n_thresholds: usize) -> f64 {
+    vus(scores, labels, max_buffer, n_thresholds, range_auc_pr)
+}
+
+fn vus(
+    scores: &[f64],
+    labels: &[bool],
+    max_buffer: usize,
+    n_thresholds: usize,
+    auc: fn(&[f64], &[bool], usize, usize) -> f64,
+) -> f64 {
+    // A zero buffer degenerates to the plain range AUC.
+    if max_buffer == 0 {
+        return auc(scores, labels, 0, n_thresholds);
+    }
+    // Sample a handful of buffer widths (trapezoid over ℓ); the surface is
+    // smooth in ℓ so a coarse grid converges quickly.
+    let steps = 5usize.min(max_buffer);
+    let widths: Vec<usize> =
+        (0..=steps).map(|i| (i as f64 / steps as f64 * max_buffer as f64).round() as usize).collect();
+    let values: Vec<f64> = widths.iter().map(|&ell| auc(scores, labels, ell, n_thresholds)).collect();
+    // Trapezoid over ℓ, normalized by the span.
+    let mut total = 0.0;
+    for i in 1..widths.len() {
+        let span = (widths[i] - widths[i - 1]) as f64;
+        total += span * 0.5 * (values[i] + values[i - 1]);
+    }
+    total / max_buffer as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<f64>, Vec<bool>) {
+        let mut scores = vec![0.1; 200];
+        let mut labels = vec![false; 200];
+        for t in 80..100 {
+            scores[t] = 0.9;
+            labels[t] = true;
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn soft_labels_hard_at_zero_buffer() {
+        let labels = [false, true, true, false];
+        assert_eq!(soft_labels(&labels, 0), vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_labels_ramp_down_with_distance() {
+        let labels = [false, false, false, true, false, false, false];
+        let soft = soft_labels(&labels, 3);
+        assert_eq!(soft[3], 1.0);
+        assert!(soft[2] > soft[1] && soft[1] > soft[0]);
+        assert!(soft[4] > soft[5] && soft[5] > soft[6]);
+        // Symmetric ramps.
+        assert!((soft[2] - soft[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_scores_give_high_auc() {
+        let (scores, labels) = separable();
+        assert!(range_auc_roc(&scores, &labels, 0, 20) > 0.95);
+        assert!(range_auc_pr(&scores, &labels, 0, 20) > 0.9);
+    }
+
+    #[test]
+    fn random_scores_roc_near_half() {
+        let labels: Vec<bool> = (0..400).map(|t| (100..140).contains(&t)).collect();
+        let scores: Vec<f64> = (0..400).map(|t| ((t * 7919) % 1000) as f64 / 1000.0).collect();
+        let auc = range_auc_roc(&scores, &labels, 0, 50);
+        assert!((auc - 0.5).abs() < 0.15, "pseudo-random ROC ≈ 0.5, got {auc}");
+    }
+
+    #[test]
+    fn near_miss_rewarded_with_buffer() {
+        // Detector fires just *before* the anomaly: hard labels punish it,
+        // buffered labels reward it — the whole point of VUS.
+        let mut scores = vec![0.1; 200];
+        let mut labels = vec![false; 200];
+        for l in labels.iter_mut().take(110).skip(100) {
+            *l = true;
+        }
+        for s in scores.iter_mut().take(100).skip(94) {
+            *s = 0.9; // early detection, misses the hard window
+        }
+        let hard = range_auc_pr(&scores, &labels, 0, 30);
+        let buffered = range_auc_pr(&scores, &labels, 10, 30);
+        assert!(buffered > hard + 0.1, "buffer must help: {hard} -> {buffered}");
+    }
+
+    #[test]
+    fn vus_lies_between_extreme_buffer_aucs() {
+        let (scores, labels) = separable();
+        let v = vus_roc(&scores, &labels, 20, 20);
+        let lo = range_auc_roc(&scores, &labels, 0, 20)
+            .min(range_auc_roc(&scores, &labels, 20, 20));
+        let hi = range_auc_roc(&scores, &labels, 0, 20)
+            .max(range_auc_roc(&scores, &labels, 20, 20));
+        assert!(v >= lo - 0.05 && v <= hi + 0.05, "vus {v} vs [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn zero_buffer_vus_equals_range_auc() {
+        let (scores, labels) = separable();
+        let direct = range_auc_pr(&scores, &labels, 0, 20);
+        let v = vus_pr(&scores, &labels, 0, 20);
+        assert!((v - direct).abs() < 1e-12, "vus {v} vs range auc {direct}");
+        assert!(v > 0.9, "perfect detector must not score 0 at zero buffer");
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(range_auc_roc(&[], &[], 5, 10), 0.0);
+        assert_eq!(vus_pr(&[], &[], 5, 10), 0.0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// All VUS outputs live in [0, 1].
+            #[test]
+            fn vus_in_unit_interval(
+                scores in proptest::collection::vec(0.0f64..1.0, 20..150),
+                seed in 0u64..500,
+            ) {
+                let labels: Vec<bool> =
+                    (0..scores.len()).map(|i| (i as u64 * 13 + seed).is_multiple_of(11)).collect();
+                prop_assert!((0.0..=1.0).contains(&vus_roc(&scores, &labels, 8, 12)));
+                prop_assert!((0.0..=1.0).contains(&vus_pr(&scores, &labels, 8, 12)));
+            }
+
+            /// Soft labels are within [0,1] and dominate hard labels.
+            #[test]
+            fn soft_labels_bounded(
+                seed in 0u64..500,
+                ell in 0usize..10,
+            ) {
+                let labels: Vec<bool> = (0..80).map(|i| (i as u64 * 17 + seed).is_multiple_of(13)).collect();
+                let soft = soft_labels(&labels, ell);
+                for (s, &l) in soft.iter().zip(&labels) {
+                    prop_assert!((0.0..=1.0).contains(s));
+                    if l { prop_assert_eq!(*s, 1.0); }
+                }
+            }
+        }
+    }
+}

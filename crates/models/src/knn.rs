@@ -1,0 +1,217 @@
+//! k-nearest-neighbour distance model — the SAFARI special case.
+//!
+//! Definition III.2 notes that when the reference parameters `θ` consist of
+//! feature vectors only, the original SAFARI definition is recovered. This
+//! model demonstrates that special case inside the extended framework: it
+//! has **no trainable parameters** at all — its "prediction" is the
+//! distance from `x_t` to its k-th nearest neighbour in the current
+//! training set, squashed into `[0, 1]`.
+//!
+//! It doubles as the similarity-based baseline family the related work
+//! surveys (§II), and exercises the framework path where `fine_tune` is a
+//! no-op (the training set *is* the model). Listed as an extension in
+//! DESIGN.md; not part of the paper's Table I grid.
+
+use sad_core::{FeatureVector, ModelOutput, StreamModel};
+
+/// Distance-to-kth-neighbour scoring over the live training set.
+#[derive(Debug, Clone)]
+pub struct KnnDistanceModel {
+    k: usize,
+    /// Reference distance scale, calibrated on the warm-up training set so
+    /// a "typical" neighbour distance maps to a score of 0.5.
+    scale: f64,
+    reference: Vec<FeatureVector>,
+}
+
+impl KnnDistanceModel {
+    /// Creates a kNN model with neighbourhood size `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, scale: 1.0, reference: Vec::new() }
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Euclidean distance between flattened feature vectors.
+    fn distance(a: &FeatureVector, b: &FeatureVector) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Distance from `x` to its k-th nearest neighbour in `set` (skipping
+    /// exact duplicates of `x` itself).
+    fn kth_distance(&self, x: &FeatureVector, set: &[FeatureVector]) -> Option<f64> {
+        if set.is_empty() {
+            return None;
+        }
+        let mut dists: Vec<f64> = set.iter().map(|r| Self::distance(x, r)).collect();
+        dists.sort_by(f64::total_cmp);
+        let idx = (self.k - 1).min(dists.len() - 1);
+        Some(dists[idx])
+    }
+}
+
+impl StreamModel for KnnDistanceModel {
+    fn name(&self) -> &'static str {
+        "kNN distance"
+    }
+
+    fn predict(&mut self, x: &FeatureVector) -> ModelOutput {
+        match self.kth_distance(x, &self.reference) {
+            // d/(d+scale) maps [0, ∞) monotonically onto [0, 1) with the
+            // calibrated typical distance landing at 0.5.
+            Some(d) => ModelOutput::Score(d / (d + self.scale.max(f64::MIN_POSITIVE))),
+            None => ModelOutput::Score(0.5),
+        }
+    }
+
+    fn fit_initial(&mut self, train: &[FeatureVector], _epochs: usize) {
+        self.reference = train.to_vec();
+        // Calibrate: median of within-set kth-neighbour distances.
+        let mut typical: Vec<f64> = train
+            .iter()
+            .filter_map(|x| {
+                // Skip self-distance by asking for the (k+1)-th within the set.
+                let mut model = self.clone();
+                model.k = self.k + 1;
+                model.kth_distance(x, train)
+            })
+            .collect();
+        if !typical.is_empty() {
+            typical.sort_by(f64::total_cmp);
+            let median = typical[typical.len() / 2];
+            if median > 0.0 {
+                self.scale = median;
+            }
+        }
+    }
+
+    fn fine_tune(&mut self, train: &[FeatureVector]) {
+        // θ_model is empty: "fine-tuning" just refreshes the reference set
+        // (the training set IS the model — the SAFARI special case).
+        self.reference = train.to_vec();
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(a: f64, b: f64) -> FeatureVector {
+        FeatureVector::new(vec![a, b], 2, 1)
+    }
+
+    fn cluster() -> Vec<FeatureVector> {
+        (0..30).map(|i| fv((i % 6) as f64 * 0.1, (i % 5) as f64 * 0.1)).collect()
+    }
+
+    #[test]
+    fn unfit_model_is_indistinct() {
+        let mut m = KnnDistanceModel::new(3);
+        assert_eq!(m.predict(&fv(0.0, 0.0)), ModelOutput::Score(0.5));
+    }
+
+    #[test]
+    fn outlier_scores_higher_than_inlier() {
+        let mut m = KnnDistanceModel::new(3);
+        m.fit_initial(&cluster(), 1);
+        let inlier = match m.predict(&fv(0.2, 0.2)) {
+            ModelOutput::Score(s) => s,
+            _ => unreachable!(),
+        };
+        let outlier = match m.predict(&fv(10.0, 10.0)) {
+            ModelOutput::Score(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(outlier > 0.9, "far point saturates: {outlier}");
+        assert!(outlier > inlier + 0.3, "separation: {outlier} vs {inlier}");
+    }
+
+    #[test]
+    fn scores_live_in_unit_interval() {
+        let mut m = KnnDistanceModel::new(2);
+        m.fit_initial(&cluster(), 1);
+        for i in 0..50 {
+            let x = fv(i as f64 - 25.0, (i * 3) as f64 % 7.0);
+            match m.predict(&x) {
+                ModelOutput::Score(s) => assert!((0.0..=1.0).contains(&s)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn fine_tune_swaps_reference_set() {
+        let mut m = KnnDistanceModel::new(1);
+        m.fit_initial(&cluster(), 1);
+        let before = match m.predict(&fv(5.0, 5.0)) {
+            ModelOutput::Score(s) => s,
+            _ => unreachable!(),
+        };
+        // Move the reference set to the probe's neighbourhood.
+        let shifted: Vec<FeatureVector> = (0..30).map(|i| fv(5.0 + (i % 4) as f64 * 0.05, 5.0)).collect();
+        m.fine_tune(&shifted);
+        let after = match m.predict(&fv(5.0, 5.0)) {
+            ModelOutput::Score(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(after < before, "refreshed reference set adapts: {before} -> {after}");
+    }
+
+    #[test]
+    fn calibration_puts_typical_points_midscale() {
+        let mut m = KnnDistanceModel::new(3);
+        m.fit_initial(&cluster(), 1);
+        let scores: Vec<f64> = cluster()
+            .iter()
+            .map(|x| match m.predict(x) {
+                ModelOutput::Score(s) => s,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!((0.1..0.8).contains(&mean), "in-distribution mean score {mean}");
+    }
+
+    #[test]
+    fn works_inside_a_detector() {
+        use sad_core::{Detector, DetectorConfig, MovingAverage, MuSigmaChange, SlidingWindowSet};
+        let config = DetectorConfig {
+            window: 6,
+            channels: 2,
+            warmup: 60,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        let mut det = Detector::new(
+            config,
+            Box::new(KnnDistanceModel::new(3)),
+            Box::new(SlidingWindowSet::new(20)),
+            Box::new(MuSigmaChange::new()),
+            Box::new(MovingAverage::new(5)),
+        );
+        let mut peak: f64 = 0.0;
+        for t in 0..250usize {
+            let base = (t as f64 * 0.2).sin();
+            let s = if (200..210).contains(&t) { vec![9.0, -9.0] } else { vec![base, base * 0.5] };
+            if let Some(out) = det.step(&s) {
+                if (200..216).contains(&t) {
+                    peak = peak.max(out.anomaly_score);
+                }
+            }
+        }
+        assert!(peak > 0.6, "planted anomaly visible to kNN detector: {peak}");
+    }
+}

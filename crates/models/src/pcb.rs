@@ -1,0 +1,175 @@
+//! PCB-iForest as a framework [`StreamModel`] (paper §IV-C).
+//!
+//! The forest operates on *stream vectors* `s_t ∈ R^N` — the paper's
+//! branching criterion is `(s_t − p)·n ≤ 0` — so the model extracts the
+//! most recent stream vector from each feature vector. The training set
+//! contributes one point per feature vector (its last row), and every
+//! prediction both scores `s_t` and updates the per-tree performance
+//! counters. Fine-tuning (triggered by KSWIN, per Heigl et al.) prunes the
+//! non-positive-counter trees and regrows them on the current training set.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sad_core::{FeatureVector, ModelOutput, StreamModel};
+use sad_forest::PcbIForest;
+
+/// PCB-iForest wrapped for the streaming pipeline.
+#[derive(Clone)]
+pub struct PcbIForestModel {
+    forest: Option<PcbIForest>,
+    n_trees: usize,
+    sample_size: usize,
+    threshold: f64,
+    rng: StdRng,
+}
+
+impl PcbIForestModel {
+    /// Creates the model with `n_trees` trees, per-tree subsample
+    /// `sample_size`, and ensemble decision threshold `threshold`.
+    pub fn new(n_trees: usize, sample_size: usize, threshold: f64, seed: u64) -> Self {
+        assert!(n_trees > 0, "need at least one tree");
+        Self {
+            forest: None,
+            n_trees,
+            sample_size,
+            threshold,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Defaults matching the PCB-iForest paper: 100 trees, ψ=256, θ=0.5.
+    pub fn default_config(seed: u64) -> Self {
+        Self::new(100, 256, PcbIForest::DEFAULT_THRESHOLD, seed)
+    }
+
+    /// One training point per feature vector: its most recent stream vector.
+    fn points(train: &[FeatureVector]) -> Vec<Vec<f64>> {
+        train.iter().map(|x| x.last_step().to_vec()).collect()
+    }
+
+    /// Number of trees currently in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.forest.as_ref().map_or(0, |f| f.len())
+    }
+}
+
+impl StreamModel for PcbIForestModel {
+    fn name(&self) -> &'static str {
+        "PCB-iForest"
+    }
+
+    fn predict(&mut self, x: &FeatureVector) -> ModelOutput {
+        match &mut self.forest {
+            Some(forest) => ModelOutput::Score(forest.score_and_update(x.last_step())),
+            // Unfit forest: report the textbook "indistinct" score 0.5
+            // rather than claiming confidence either way.
+            None => ModelOutput::Score(0.5),
+        }
+    }
+
+    fn fit_initial(&mut self, train: &[FeatureVector], _epochs: usize) {
+        let points = Self::points(train);
+        if points.is_empty() {
+            return;
+        }
+        self.forest = Some(PcbIForest::fit(
+            &points,
+            self.n_trees,
+            self.sample_size,
+            self.threshold,
+            &mut self.rng,
+        ));
+    }
+
+    fn fine_tune(&mut self, train: &[FeatureVector]) {
+        let points = Self::points(train);
+        match &mut self.forest {
+            Some(forest) => {
+                forest.rebuild_on_drift(&points, &mut self.rng);
+            }
+            None => self.fit_initial(train, 1),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows_around(center: f64, count: usize) -> Vec<FeatureVector> {
+        (0..count)
+            .map(|i| {
+                let jitter = ((i * 13) % 7) as f64 * 0.05;
+                let data = vec![
+                    center + jitter,
+                    center - jitter,
+                    center + jitter * 0.5,
+                    center + 0.1 + jitter,
+                ];
+                FeatureVector::new(data, 2, 2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unfit_model_reports_indistinct_score() {
+        let mut m = PcbIForestModel::new(10, 32, 0.5, 1);
+        let x = FeatureVector::new(vec![1.0; 4], 2, 2);
+        assert_eq!(m.predict(&x), ModelOutput::Score(0.5));
+    }
+
+    #[test]
+    fn outlier_scores_above_inlier_after_fit() {
+        let train = windows_around(0.0, 100);
+        let mut m = PcbIForestModel::new(50, 64, 0.5, 3);
+        m.fit_initial(&train, 1);
+        let score = |m: &mut PcbIForestModel, v: f64| -> f64 {
+            match m.predict(&FeatureVector::new(vec![0.0, 0.0, v, v], 2, 2)) {
+                ModelOutput::Score(s) => s,
+                _ => unreachable!(),
+            }
+        };
+        let inlier = score(&mut m, 0.05);
+        let outlier = score(&mut m, 9.0);
+        assert!(outlier > inlier, "outlier {outlier} vs inlier {inlier}");
+    }
+
+    #[test]
+    fn fine_tune_rebuilds_and_preserves_tree_count() {
+        let train = windows_around(0.0, 80);
+        let mut m = PcbIForestModel::new(30, 64, 0.5, 5);
+        m.fit_initial(&train, 1);
+        assert_eq!(m.tree_count(), 30);
+        // Score drifted data so counters change, then fine-tune on it.
+        let drifted = windows_around(4.0, 80);
+        for x in &drifted {
+            let _ = m.predict(x);
+        }
+        m.fine_tune(&drifted);
+        assert_eq!(m.tree_count(), 30);
+    }
+
+    #[test]
+    fn fine_tune_without_fit_bootstraps() {
+        let mut m = PcbIForestModel::new(10, 32, 0.5, 9);
+        m.fine_tune(&windows_around(0.0, 50));
+        assert_eq!(m.tree_count(), 10);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let train = windows_around(0.0, 60);
+        let mut m = PcbIForestModel::new(20, 32, 0.5, 11);
+        m.fit_initial(&train, 1);
+        for v in [-100.0, -1.0, 0.0, 0.5, 3.0, 1e6] {
+            match m.predict(&FeatureVector::new(vec![v; 4], 2, 2)) {
+                ModelOutput::Score(s) => assert!((0.0..=1.0).contains(&s), "score {s} for {v}"),
+                _ => unreachable!(),
+            }
+        }
+    }
+}

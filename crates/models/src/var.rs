@@ -1,0 +1,227 @@
+//! Vector autoregression (paper §IV-C).
+//!
+//! `s_t = ν + Σ_{i=1..p} A_i s_{t−i} + ε_t` with coefficient matrices
+//! `A_i ∈ R^{N×N}` and intercept `ν ∈ R^N`, estimated by least squares on
+//! consecutive rows of the training windows. The paper notes this restricts
+//! Task 1 to the sliding window, because least squares needs an excerpt of
+//! *consecutive* time-series data — which only SW preserves.
+//!
+//! VAR is described by the paper as the correlation-aware extension of
+//! online ARIMA but is not part of the Table I evaluation grid; it is
+//! implemented here for completeness and used in the ablation benches.
+
+use sad_core::{FeatureVector, ModelOutput, StreamModel};
+use sad_tensor::{least_squares, Matrix};
+
+/// A VAR(p) forecaster fit by ridge-stabilized least squares.
+#[derive(Debug, Clone)]
+pub struct VarModel {
+    p: usize,
+    ridge: f64,
+    /// Stacked coefficients `[ν | A₁ | … | A_p]` as an `N × (1 + pN)`
+    /// matrix; `None` until the first fit.
+    coeffs: Option<Matrix>,
+}
+
+impl VarModel {
+    /// Creates a VAR(p) model. `ridge` stabilizes the normal equations
+    /// against constant channels (1e-6 is a good default).
+    pub fn new(p: usize, ridge: f64) -> Self {
+        assert!(p > 0, "lag order must be positive");
+        assert!(ridge >= 0.0, "ridge must be non-negative");
+        Self { p, ridge, coeffs: None }
+    }
+
+    /// Lag order `p`.
+    pub fn order(&self) -> usize {
+        self.p
+    }
+
+    /// `true` once the model has been fit.
+    pub fn is_fit(&self) -> bool {
+        self.coeffs.is_some()
+    }
+
+    /// Builds the regression design from consecutive rows of each window:
+    /// each row `t ∈ [p, w)` of a window yields the regressor
+    /// `[1, s_{t−1}, …, s_{t−p}]` and target `s_t`.
+    fn design(&self, train: &[FeatureVector]) -> Option<(Matrix, Matrix)> {
+        let first = train.first()?;
+        let (w, n) = (first.w(), first.n());
+        if w <= self.p {
+            return None;
+        }
+        let rows_per_window = w - self.p;
+        let total = rows_per_window * train.len();
+        let k = 1 + self.p * n;
+        let mut a = Matrix::zeros(total, k);
+        let mut b = Matrix::zeros(total, n);
+        let mut row = 0;
+        for x in train {
+            for t in self.p..w {
+                let arow = a.row_mut(row);
+                arow[0] = 1.0;
+                for lag in 1..=self.p {
+                    arow[1 + (lag - 1) * n..1 + lag * n].copy_from_slice(x.step(t - lag));
+                }
+                b.row_mut(row).copy_from_slice(x.step(t));
+                row += 1;
+            }
+        }
+        Some((a, b))
+    }
+
+    fn refit(&mut self, train: &[FeatureVector]) {
+        let Some((a, b)) = self.design(train) else {
+            return;
+        };
+        // least_squares returns K × N; store transposed as N × K so
+        // prediction is a matvec.
+        match least_squares(&a, &b, self.ridge.max(1e-10)) {
+            Ok(x) => self.coeffs = Some(x.transpose()),
+            Err(_) => { /* singular even with ridge: keep previous fit */ }
+        }
+    }
+}
+
+impl StreamModel for VarModel {
+    fn name(&self) -> &'static str {
+        "VAR"
+    }
+
+    fn predict(&mut self, x: &FeatureVector) -> ModelOutput {
+        let n = x.n();
+        let Some(coeffs) = &self.coeffs else {
+            // Unfit model: persistence forecast.
+            return ModelOutput::Forecast(x.step(x.w().saturating_sub(2)).to_vec());
+        };
+        assert!(x.w() > self.p, "window shorter than lag order");
+        // Regressor from the p rows preceding s_t.
+        let t = x.w() - 1;
+        let mut reg = Vec::with_capacity(1 + self.p * n);
+        reg.push(1.0);
+        for lag in 1..=self.p {
+            reg.extend_from_slice(x.step(t - lag));
+        }
+        ModelOutput::Forecast(coeffs.matvec(&reg))
+    }
+
+    fn fit_initial(&mut self, train: &[FeatureVector], _epochs: usize) {
+        // Least squares is a closed-form fit; epochs are meaningless.
+        self.refit(train);
+    }
+
+    fn fine_tune(&mut self, train: &[FeatureVector]) {
+        self.refit(train);
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates windows from the deterministic VAR(1) process
+    /// `s_t = ν + A s_{t−1}` so least squares can recover it exactly.
+    fn var1_windows(count: usize, w: usize) -> (Vec<FeatureVector>, Vec<Vec<f64>>) {
+        let a = [[0.5, 0.2], [-0.1, 0.7]];
+        let nu = [0.3, -0.1];
+        let mut series = vec![vec![1.0, 0.5]];
+        for t in 1..(count + w) {
+            let prev = &series[t - 1];
+            series.push(vec![
+                nu[0] + a[0][0] * prev[0] + a[0][1] * prev[1],
+                nu[1] + a[1][0] * prev[0] + a[1][1] * prev[1],
+            ]);
+        }
+        let windows = (0..count)
+            .map(|s| {
+                let data: Vec<f64> = series[s..s + w].iter().flatten().copied().collect();
+                FeatureVector::new(data, w, 2)
+            })
+            .collect();
+        (windows, series)
+    }
+
+    #[test]
+    fn recovers_var1_process_exactly() {
+        let (windows, series) = var1_windows(30, 8);
+        let mut model = VarModel::new(1, 0.0);
+        model.fit_initial(&windows, 1);
+        assert!(model.is_fit());
+        // Forecast the last step of a held-out window.
+        let probe = &windows[25];
+        match model.predict(probe) {
+            ModelOutput::Forecast(f) => {
+                let truth = probe.last_step();
+                assert!((f[0] - truth[0]).abs() < 1e-6, "{} vs {}", f[0], truth[0]);
+                assert!((f[1] - truth[1]).abs() < 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = series;
+    }
+
+    #[test]
+    fn var2_handles_longer_lags() {
+        let (windows, _) = var1_windows(40, 10);
+        let mut model = VarModel::new(2, 1e-8);
+        model.fit_initial(&windows, 1);
+        // A VAR(2) fit of a VAR(1) process is still exact (A₂ = 0).
+        let probe = &windows[30];
+        match model.predict(probe) {
+            ModelOutput::Forecast(f) => {
+                let truth = probe.last_step();
+                assert!((f[0] - truth[0]).abs() < 1e-5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unfit_model_gives_persistence_forecast() {
+        let mut model = VarModel::new(1, 1e-6);
+        let x = FeatureVector::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        match model.predict(&x) {
+            ModelOutput::Forecast(f) => assert_eq!(f, vec![3.0, 4.0]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_channel_needs_ridge() {
+        // One channel constant -> singular design without ridge.
+        let windows: Vec<FeatureVector> = (0..10)
+            .map(|s| {
+                let data: Vec<f64> = (0..6)
+                    .flat_map(|i| vec![((s + i) as f64 * 0.7).sin(), 5.0])
+                    .collect();
+                FeatureVector::new(data, 6, 2)
+            })
+            .collect();
+        let mut model = VarModel::new(1, 1e-6);
+        model.fit_initial(&windows, 1);
+        assert!(model.is_fit(), "ridge makes the singular design solvable");
+        match model.predict(&windows[5]) {
+            ModelOutput::Forecast(f) => {
+                assert!((f[1] - 5.0).abs() < 0.05, "constant channel forecast {}", f[1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_short_window_keeps_previous_fit() {
+        let (windows, _) = var1_windows(10, 8);
+        let mut model = VarModel::new(1, 1e-6);
+        model.fit_initial(&windows, 1);
+        assert!(model.is_fit());
+        // Windows of length <= p cannot produce a design; fit is retained.
+        let tiny = vec![FeatureVector::new(vec![1.0, 2.0], 1, 2)];
+        model.fine_tune(&tiny);
+        assert!(model.is_fit());
+    }
+}

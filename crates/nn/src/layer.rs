@@ -1,0 +1,228 @@
+//! Fully-connected layer with hand-derived backpropagation.
+
+use crate::activation::Activation;
+use rand::Rng;
+use sad_tensor::Matrix;
+
+/// A fully-connected layer `y = act(W x + b)`.
+///
+/// `W` is `out_dim x in_dim`; the paper writes the affine map as
+/// `FC_i(x) = σ(x * W_i + b_i)` (§IV-C) — identical up to transposition.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, `out_dim x in_dim`.
+    pub weights: Matrix,
+    /// Bias vector, length `out_dim`.
+    pub bias: Vec<f64>,
+    /// Element-wise nonlinearity.
+    pub activation: Activation,
+}
+
+/// Forward-pass cache needed by [`Dense::backward`].
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// The layer input.
+    pub input: Vec<f64>,
+    /// The post-activation output.
+    pub output: Vec<f64>,
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// `∂L/∂W`, same shape as the weights.
+    pub weights: Matrix,
+    /// `∂L/∂b`.
+    pub bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-uniform initialized weights and zero bias.
+    pub fn xavier(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let weights = Matrix::from_fn(out_dim, in_dim, |_, _| rng.random_range(-bound..bound));
+        Self { weights, bias: vec![0.0; out_dim], activation }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of scalar parameters (`out*in + out`).
+    pub fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Forward pass returning the output and the cache for backprop.
+    pub fn forward(&self, x: &[f64]) -> (Vec<f64>, DenseCache) {
+        assert_eq!(x.len(), self.in_dim(), "Dense forward: input dim mismatch");
+        let mut out = self.weights.matvec(x);
+        for (o, b) in out.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        self.activation.apply_slice(&mut out);
+        (out.clone(), DenseCache { input: x.to_vec(), output: out })
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim(), "Dense infer: input dim mismatch");
+        let mut out = self.weights.matvec(x);
+        for (o, b) in out.iter_mut().zip(&self.bias) {
+            *o += b;
+        }
+        self.activation.apply_slice(&mut out);
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// Given `∂L/∂y` (`grad_out`) and the forward cache, accumulates
+    /// parameter gradients into `grads` and returns `∂L/∂x`.
+    pub fn backward(&self, cache: &DenseCache, grad_out: &[f64], grads: &mut DenseGrads) -> Vec<f64> {
+        assert_eq!(grad_out.len(), self.out_dim(), "Dense backward: grad dim mismatch");
+        // δ = ∂L/∂(Wx+b) = grad_out ⊙ act'(y)
+        let delta: Vec<f64> = grad_out
+            .iter()
+            .zip(&cache.output)
+            .map(|(&g, &y)| g * self.activation.derivative_from_output(y))
+            .collect();
+        // ∂L/∂W = δ xᵀ  (outer product), ∂L/∂b = δ
+        for (i, &d) in delta.iter().enumerate() {
+            if d != 0.0 {
+                let row = grads.weights.row_mut(i);
+                for (w, &xi) in row.iter_mut().zip(&cache.input) {
+                    *w += d * xi;
+                }
+            }
+            grads.bias[i] += d;
+        }
+        // ∂L/∂x = Wᵀ δ
+        self.weights.matvec_t(&delta)
+    }
+
+    /// Zeroed gradient buffers shaped like this layer.
+    pub fn zero_grads(&self) -> DenseGrads {
+        DenseGrads {
+            weights: Matrix::zeros(self.weights.rows(), self.weights.cols()),
+            bias: vec![0.0; self.bias.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_linear_known_values() {
+        let layer = Dense {
+            weights: Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -1.0]]),
+            bias: vec![0.5, 1.0],
+            activation: Activation::Identity,
+        };
+        let (y, _) = layer.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 0.0]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = Dense::xavier(4, 3, Activation::Tanh, &mut rng);
+        let x = [0.1, -0.2, 0.3, 0.7];
+        let (y, _) = layer.forward(&x);
+        assert_eq!(layer.infer(&x), y);
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::xavier(10, 10, Activation::Sigmoid, &mut rng);
+        let bound = (6.0 / 20.0_f64).sqrt();
+        assert!(layer.weights.as_slice().iter().all(|w| w.abs() <= bound));
+        assert!(layer.bias.iter().all(|&b| b == 0.0));
+    }
+
+    /// Central finite-difference check of all gradients of a single layer.
+    #[test]
+    fn grad_check_single_layer() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            let mut layer = Dense::xavier(3, 2, act, &mut rng);
+            let x = [0.3, -0.5, 0.8];
+            let target = [0.1, -0.2];
+            // L = 0.5 * ||y - target||^2  =>  dL/dy = y - target
+            let (y, cache) = layer.forward(&x);
+            let grad_out: Vec<f64> = y.iter().zip(&target).map(|(a, b)| a - b).collect();
+            let mut grads = layer.zero_grads();
+            let grad_in = layer.backward(&cache, &grad_out, &mut grads);
+
+            let eps = 1e-6;
+            let loss = |l: &Dense, x: &[f64]| -> f64 {
+                let y = l.infer(x);
+                0.5 * y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            };
+            // Weights.
+            for i in 0..2 {
+                for j in 0..3 {
+                    let orig = layer.weights[(i, j)];
+                    layer.weights[(i, j)] = orig + eps;
+                    let lp = loss(&layer, &x);
+                    layer.weights[(i, j)] = orig - eps;
+                    let lm = loss(&layer, &x);
+                    layer.weights[(i, j)] = orig;
+                    let fd = (lp - lm) / (2.0 * eps);
+                    assert!(
+                        (fd - grads.weights[(i, j)]).abs() < 1e-5,
+                        "{act:?} dW[{i}{j}] fd {fd} vs {}",
+                        grads.weights[(i, j)]
+                    );
+                }
+            }
+            // Bias.
+            for i in 0..2 {
+                let orig = layer.bias[i];
+                layer.bias[i] = orig + eps;
+                let lp = loss(&layer, &x);
+                layer.bias[i] = orig - eps;
+                let lm = loss(&layer, &x);
+                layer.bias[i] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!((fd - grads.bias[i]).abs() < 1e-5, "{act:?} db[{i}]");
+            }
+            // Input gradient.
+            for k in 0..3 {
+                let mut xp = x;
+                xp[k] += eps;
+                let mut xm = x;
+                xm[k] -= eps;
+                let fd = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                assert!((fd - grad_in[k]).abs() < 1e-5, "{act:?} dx[{k}]");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn wrong_input_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::xavier(3, 2, Activation::Identity, &mut rng);
+        let _ = layer.infer(&[1.0]);
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::xavier(5, 4, Activation::Identity, &mut rng);
+        assert_eq!(layer.num_params(), 5 * 4 + 4);
+    }
+}

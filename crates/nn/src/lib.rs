@@ -1,0 +1,33 @@
+//! # sad-nn
+//!
+//! A small, hand-rolled neural-network substrate: fully-connected layers
+//! with analytically derived backpropagation, a handful of activations, MSE
+//! losses, and Xavier initialization.
+//!
+//! Three of the paper's five models are neural networks — the 2-layer
+//! autoencoder, the USAD adversarial autoencoder and N-BEATS (§IV-C). No
+//! mature autodiff/deep-learning stack exists in this dependency universe,
+//! so the backward passes are written by hand. Two design points matter for
+//! the reproduction:
+//!
+//! * [`Mlp::backward`] accepts an arbitrary output gradient `∂L/∂ŷ` and
+//!   returns the gradient with respect to the *input*. This is what lets
+//!   USAD chain `∂‖x − AE₂(AE₁(x))‖²/∂θ_{AE₁}` through the second
+//!   autoencoder, and lets N-BEATS propagate through its residual stacking.
+//! * Parameters and gradients flatten to plain `[f64]` buffers
+//!   ([`Mlp::params_flat`], [`MlpGrads::flatten`]) so any
+//!   `sad_tensor::Optimizer` drives the update — mirroring the paper's
+//!   `θ ← θ − Σ Opt(∂L/∂θ)` fine-tuning formulation.
+//!
+//! Every backward pass is verified against central finite differences in the
+//! test suite (`grad_check`).
+
+pub mod activation;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+
+pub use activation::Activation;
+pub use layer::{Dense, DenseCache, DenseGrads};
+pub use loss::{mse, mse_grad, sse, sse_grad};
+pub use mlp::{Mlp, MlpCache, MlpGrads};

@@ -1,0 +1,79 @@
+//! Reconstruction losses.
+//!
+//! USAD's losses (paper §IV-C) are built from squared reconstruction errors
+//! `R_i = ||x - AE_i(x)||²`; the plain autoencoder and N-BEATS train on MSE.
+
+/// Mean squared error `(1/d) Σ (ŷ_i - y_i)²`.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mse length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / pred.len() as f64
+}
+
+/// Gradient of [`mse`] with respect to `pred`: `(2/d)(ŷ - y)`.
+pub fn mse_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), target.len(), "mse length mismatch");
+    let scale = 2.0 / pred.len().max(1) as f64;
+    pred.iter().zip(target).map(|(a, b)| scale * (a - b)).collect()
+}
+
+/// Sum of squared errors `Σ (ŷ_i - y_i)²` — the paper's `R_i` terms.
+pub fn sse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "sse length mismatch");
+    pred.iter().zip(target).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Gradient of [`sse`] with respect to `pred`: `2(ŷ - y)`.
+pub fn sse_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), target.len(), "sse length mismatch");
+    pred.iter().zip(target).map(|(a, b)| 2.0 * (a - b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value() {
+        assert!((mse(&[1.0, 2.0], &[0.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_zero_on_identical() {
+        let v = [0.3, -1.0, 5.5];
+        assert_eq!(mse(&v, &v), 0.0);
+        assert!(mse_grad(&v, &v).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn sse_is_d_times_mse() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [0.0, 0.0, 0.0];
+        assert!((sse(&p, &t) - 3.0 * mse(&p, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grads_match_finite_differences() {
+        let p = [0.5, -0.3, 1.2];
+        let t = [0.0, 0.1, 1.0];
+        let eps = 1e-6;
+        let g_mse = mse_grad(&p, &t);
+        let g_sse = sse_grad(&p, &t);
+        for k in 0..p.len() {
+            let mut pp = p;
+            pp[k] += eps;
+            let mut pm = p;
+            pm[k] -= eps;
+            assert!(((mse(&pp, &t) - mse(&pm, &t)) / (2.0 * eps) - g_mse[k]).abs() < 1e-6);
+            assert!(((sse(&pp, &t) - sse(&pm, &t)) / (2.0 * eps) - g_sse[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_slices_are_zero_loss() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(sse(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Multi-layer perceptron: a stack of [`Dense`] layers.
+
+use crate::activation::Activation;
+use crate::layer::{Dense, DenseCache, DenseGrads};
+use crate::loss::{mse, mse_grad};
+use rand::Rng;
+use sad_tensor::Optimizer;
+
+/// A feed-forward stack of fully-connected layers.
+///
+/// Both encoders/decoders of USAD, the 2-layer autoencoder and the FC stacks
+/// inside each N-BEATS block are instances of this type.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Per-layer forward caches for one input.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    caches: Vec<DenseCache>,
+}
+
+/// Parameter gradients for a whole [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    layers: Vec<DenseGrads>,
+}
+
+impl Mlp {
+    /// Creates an MLP with layer sizes `dims[0] -> dims[1] -> ... -> dims[L]`
+    /// and one activation per layer (`acts.len() == dims.len() - 1`).
+    pub fn new(dims: &[usize], acts: &[Activation], rng: &mut impl Rng) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        assert_eq!(acts.len(), dims.len() - 1, "one activation per layer required");
+        let layers = dims
+            .windows(2)
+            .zip(acts)
+            .map(|(pair, &act)| Dense::xavier(pair[0], pair[1], act, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Builds an MLP from explicit layers (used by tests and custom models).
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].out_dim(), pair[1].in_dim(), "layer dimension chain broken");
+        }
+        Self { layers }
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Inference-only forward pass.
+    pub fn infer(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass keeping the caches needed for [`Self::backward`].
+    pub fn forward(&self, x: &[f64]) -> (Vec<f64>, MlpCache) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&cur);
+            caches.push(cache);
+            cur = out;
+        }
+        (cur, MlpCache { caches })
+    }
+
+    /// Backward pass: given `∂L/∂ŷ`, accumulates parameter gradients into
+    /// `grads` and returns `∂L/∂x` (enabling cross-network chaining).
+    pub fn backward(&self, cache: &MlpCache, grad_out: &[f64], grads: &mut MlpGrads) -> Vec<f64> {
+        assert_eq!(cache.caches.len(), self.layers.len(), "cache/layer count mismatch");
+        let mut grad = grad_out.to_vec();
+        for ((layer, lcache), lgrads) in
+            self.layers.iter().zip(&cache.caches).zip(&mut grads.layers).rev()
+        {
+            grad = layer.backward(lcache, &grad, lgrads);
+        }
+        grad
+    }
+
+    /// Zeroed gradient buffers shaped like this network.
+    pub fn zero_grads(&self) -> MlpGrads {
+        MlpGrads { layers: self.layers.iter().map(Dense::zero_grads).collect() }
+    }
+
+    /// Flattens all parameters (row-major weights then bias, per layer).
+    pub fn params_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights.as_slice());
+            out.extend_from_slice(&layer.bias);
+        }
+        out
+    }
+
+    /// Restores parameters from a flat buffer produced by [`Self::params_flat`].
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match [`Self::num_params`].
+    pub fn set_params_flat(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.num_params(), "flat parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let wlen = layer.weights.rows() * layer.weights.cols();
+            layer.weights.as_mut_slice().copy_from_slice(&flat[offset..offset + wlen]);
+            offset += wlen;
+            let blen = layer.bias.len();
+            layer.bias.copy_from_slice(&flat[offset..offset + blen]);
+            offset += blen;
+        }
+    }
+
+    /// One optimizer step from accumulated gradients: flattens params and
+    /// grads, applies `opt`, writes the parameters back.
+    pub fn apply_grads(&mut self, grads: &MlpGrads, opt: &mut dyn Optimizer) {
+        let mut params = self.params_flat();
+        let flat_grads = grads.flatten();
+        opt.step(&mut params, &flat_grads);
+        self.set_params_flat(&params);
+    }
+
+    /// One full MSE training step on a single example. Returns the loss
+    /// *before* the update.
+    pub fn train_step_mse(&mut self, x: &[f64], target: &[f64], opt: &mut dyn Optimizer) -> f64 {
+        let (pred, cache) = self.forward(x);
+        let loss = mse(&pred, target);
+        let grad_out = mse_grad(&pred, target);
+        let mut grads = self.zero_grads();
+        self.backward(&cache, &grad_out, &mut grads);
+        self.apply_grads(&grads, opt);
+        loss
+    }
+
+    /// `true` if every parameter is finite (guards against divergence during
+    /// streaming fine-tuning).
+    pub fn is_finite(&self) -> bool {
+        self.layers.iter().all(|l| l.weights.is_finite() && l.bias.iter().all(|b| b.is_finite()))
+    }
+}
+
+impl MlpGrads {
+    /// Flattens gradients in the same order as [`Mlp::params_flat`].
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights.as_slice());
+            out.extend_from_slice(&layer.bias);
+        }
+        out
+    }
+
+    /// Adds another gradient accumulation (for mini-batches).
+    pub fn accumulate(&mut self, other: &MlpGrads) {
+        assert_eq!(self.layers.len(), other.layers.len(), "grad shape mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.weights.add_scaled(&b.weights, 1.0);
+            for (x, y) in a.bias.iter_mut().zip(&b.bias) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales all gradients by `s` (e.g. `1/batch`).
+    pub fn scale(&mut self, s: f64) {
+        for layer in &mut self.layers {
+            let scaled = layer.weights.scale(s);
+            layer.weights = scaled;
+            for b in &mut layer.bias {
+                *b *= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sad_tensor::{Adam, Sgd};
+
+    fn tiny_mlp(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[3, 4, 2], &[Activation::Tanh, Activation::Identity], &mut rng)
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mlp = tiny_mlp(3);
+        let x = [0.2, -0.4, 0.9];
+        let (y, _) = mlp.forward(&x);
+        assert_eq!(mlp.infer(&x), y);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut mlp = tiny_mlp(5);
+        let flat = mlp.params_flat();
+        assert_eq!(flat.len(), mlp.num_params());
+        let mut other = tiny_mlp(99);
+        other.set_params_flat(&flat);
+        let x = [0.1, 0.2, 0.3];
+        assert_eq!(mlp.infer(&x), other.infer(&x));
+        // Round trip is exact.
+        mlp.set_params_flat(&flat);
+        assert_eq!(mlp.params_flat(), flat);
+    }
+
+    /// Finite-difference check of the full-network gradient.
+    #[test]
+    fn grad_check_full_network() {
+        let mut mlp = tiny_mlp(11);
+        let x = [0.3, -0.1, 0.5];
+        let target = [0.2, -0.7];
+
+        let (pred, cache) = mlp.forward(&x);
+        let grad_out = mse_grad(&pred, &target);
+        let mut grads = mlp.zero_grads();
+        let grad_in = mlp.backward(&cache, &grad_out, &mut grads);
+        let flat_grads = grads.flatten();
+
+        let eps = 1e-6;
+        let mut params = mlp.params_flat();
+        for k in 0..params.len() {
+            let orig = params[k];
+            params[k] = orig + eps;
+            mlp.set_params_flat(&params);
+            let lp = mse(&mlp.infer(&x), &target);
+            params[k] = orig - eps;
+            mlp.set_params_flat(&params);
+            let lm = mse(&mlp.infer(&x), &target);
+            params[k] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - flat_grads[k]).abs() < 1e-5, "param {k}: fd {fd} vs {}", flat_grads[k]);
+        }
+        mlp.set_params_flat(&params);
+
+        // Input gradient.
+        for k in 0..x.len() {
+            let mut xp = x;
+            xp[k] += eps;
+            let mut xm = x;
+            xm[k] -= eps;
+            let fd = (mse(&mlp.infer(&xp), &target) - mse(&mlp.infer(&xm), &target)) / (2.0 * eps);
+            assert!((fd - grad_in[k]).abs() < 1e-5, "dx[{k}]");
+        }
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss() {
+        let mut mlp = tiny_mlp(21);
+        let mut opt = Sgd::new(0.05);
+        let x = [0.5, -0.5, 1.0];
+        let target = [1.0, -1.0];
+        let first = mlp.train_step_mse(&x, &target, &mut opt);
+        let mut last = first;
+        for _ in 0..300 {
+            last = mlp.train_step_mse(&x, &target, &mut opt);
+        }
+        assert!(last < first * 0.05, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_learns_identity_map() {
+        // Train a 2-2 linear network to reproduce its input on a few points.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut mlp = Mlp::new(&[2, 8, 2], &[Activation::Tanh, Activation::Identity], &mut rng);
+        let mut opt = Adam::new(0.01);
+        let points: Vec<[f64; 2]> = vec![[0.1, 0.2], [-0.3, 0.4], [0.5, -0.5], [0.0, 0.3]];
+        for _ in 0..600 {
+            for p in &points {
+                mlp.train_step_mse(p, p, &mut opt);
+            }
+        }
+        for p in &points {
+            let y = mlp.infer(p);
+            assert!(mse(&y, p) < 1e-3, "point {p:?} -> {y:?}");
+        }
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mlp = tiny_mlp(31);
+        let x = [0.3, -0.1, 0.5];
+        let target = [0.2, -0.7];
+        let (pred, cache) = mlp.forward(&x);
+        let grad_out = mse_grad(&pred, &target);
+
+        let mut g1 = mlp.zero_grads();
+        mlp.backward(&cache, &grad_out, &mut g1);
+        let mut g2 = mlp.zero_grads();
+        mlp.backward(&cache, &grad_out, &mut g2);
+        g2.accumulate(&g1);
+        g2.scale(0.5);
+        let f1 = g1.flatten();
+        let f2 = g2.flatten();
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn is_finite_detects_divergence() {
+        let mut mlp = tiny_mlp(41);
+        assert!(mlp.is_finite());
+        let mut params = mlp.params_flat();
+        params[0] = f64::INFINITY;
+        mlp.set_params_flat(&params);
+        assert!(!mlp.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation per layer")]
+    fn wrong_activation_count_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Mlp::new(&[2, 2], &[], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer dimension chain broken")]
+    fn broken_layer_chain_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l1 = Dense::xavier(2, 3, Activation::Identity, &mut rng);
+        let l2 = Dense::xavier(4, 2, Activation::Identity, &mut rng);
+        let _ = Mlp::from_layers(vec![l1, l2]);
+    }
+}

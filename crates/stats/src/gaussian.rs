@@ -1,0 +1,123 @@
+//! Gaussian distribution functions.
+//!
+//! The anomaly-likelihood score (paper §IV-E, after Lavin & Ahmad's Numenta
+//! anomaly likelihood) is `f_t = 1 - Q((μ̃_t - μ_t)/σ_t)` where `Q` is the
+//! Gaussian tail distribution. Rust's standard library has no `erf`/`erfc`,
+//! so this module implements `erfc` with the rational Chebyshev
+//! approximation from Numerical Recipes (§6.2, accurate to ~1.2e-7 absolute
+//! error everywhere), which is far tighter than anything the anomaly
+//! likelihood needs.
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Absolute error below `1.3e-7` over the whole real line.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Numerical Recipes erfcc rational approximation.
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal probability density.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Gaussian tail distribution `Q(x) = P(Z > x) = 1 - Φ(x)`.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 0.4795001),
+            (1.0, 0.1572992),
+            (2.0, 0.0046777),
+            (-1.0, 1.8427008),
+        ];
+        for (x, expect) in cases {
+            assert!((erfc(x) - expect).abs() < 2e-6, "erfc({x}) = {} != {expect}", erfc(x));
+        }
+    }
+
+    #[test]
+    fn q_function_reference_values() {
+        // Q(0) = 0.5, Q(1.6449) ≈ 0.05, Q(1.96) ≈ 0.025, Q(2.3263) ≈ 0.01.
+        assert!((q_function(0.0) - 0.5).abs() < 1e-6);
+        assert!((q_function(1.6449) - 0.05).abs() < 1e-4);
+        assert!((q_function(1.96) - 0.025).abs() < 1e-4);
+        assert!((q_function(2.3263) - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cdf_plus_q_is_one() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.2;
+            assert!((normal_cdf(x) + q_function(x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for i in 0..=30 {
+            let x = i as f64 * 0.3;
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn q_is_monotone_decreasing() {
+        let mut prev = q_function(-6.0);
+        for i in -59..=60 {
+            let x = i as f64 * 0.1;
+            let q = q_function(x);
+            assert!(q <= prev + 1e-12, "Q not monotone at {x}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoid over [-8, 8].
+        let n = 4000;
+        let h = 16.0 / n as f64;
+        let integral: f64 =
+            (0..=n).map(|i| normal_pdf(-8.0 + i as f64 * h) * if i == 0 || i == n { 0.5 } else { 1.0 }).sum::<f64>()
+                * h;
+        assert!((integral - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extreme_arguments_saturate() {
+        assert!(q_function(40.0) >= 0.0);
+        assert!(q_function(40.0) < 1e-12);
+        assert!((q_function(-40.0) - 1.0).abs() < 1e-12);
+    }
+}

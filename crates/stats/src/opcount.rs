@@ -1,0 +1,123 @@
+//! Arithmetic-operation accounting for Table II.
+//!
+//! The paper's Table II compares the per-step cost of the two Task-2 drift
+//! strategies in *mathematical operations* (additions, multiplications,
+//! comparisons) as closed forms in the training-set length `m`, the data
+//! representation length `w` and the channel count `N`:
+//!
+//! | | μ/σ-Change | KSWIN |
+//! |---|---|---|
+//! | Additions | `6Nw` | `2Nmw` |
+//! | Multiplications | `2Nw` | `2Nmw` |
+//! | Comparisons | `3Nw` | `(1+4m)Nw·log2(mw) + N` |
+//!
+//! [`OpCount`] is the measured-side counter threaded through the
+//! instrumented drift detectors; [`mu_sigma_analytic`] and
+//! [`kswin_analytic`] are the paper's closed forms. The `table2_ops` bench
+//! binary prints both side by side.
+
+use std::ops::{Add, AddAssign};
+
+/// A tally of additions, multiplications and comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCount {
+    /// Number of additions/subtractions.
+    pub additions: u64,
+    /// Number of multiplications/divisions.
+    pub multiplications: u64,
+    /// Number of comparisons (includes binary-search probes).
+    pub comparisons: u64,
+}
+
+impl OpCount {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total of all operation classes.
+    pub fn total(&self) -> u64 {
+        self.additions + self.multiplications + self.comparisons
+    }
+}
+
+impl Add for OpCount {
+    type Output = OpCount;
+    fn add(self, rhs: OpCount) -> OpCount {
+        OpCount {
+            additions: self.additions + rhs.additions,
+            multiplications: self.multiplications + rhs.multiplications,
+            comparisons: self.comparisons + rhs.comparisons,
+        }
+    }
+}
+
+impl AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        *self = *self + rhs;
+    }
+}
+
+/// The paper's closed-form per-step cost of the μ/σ-Change strategy
+/// (Table II, left column) for channel count `n`, representation length `w`.
+pub fn mu_sigma_analytic(n: usize, w: usize) -> OpCount {
+    let nw = (n * w) as u64;
+    OpCount { additions: 6 * nw, multiplications: 2 * nw, comparisons: 3 * nw }
+}
+
+/// The paper's closed-form per-step cost of the KSWIN strategy (Table II,
+/// right column) for channel count `n`, representation length `w`, training
+/// set length `m`.
+pub fn kswin_analytic(n: usize, w: usize, m: usize) -> OpCount {
+    let (nf, wf, mf) = (n as f64, w as f64, m as f64);
+    let log = (mf * wf).max(2.0).log2();
+    OpCount {
+        additions: (2.0 * nf * mf * wf) as u64,
+        multiplications: (2.0 * nf * mf * wf) as u64,
+        comparisons: ((1.0 + 4.0 * mf) * nf * wf * log + nf) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_add_assign() {
+        let a = OpCount { additions: 1, multiplications: 2, comparisons: 3 };
+        let b = OpCount { additions: 10, multiplications: 20, comparisons: 30 };
+        assert_eq!(a + b, OpCount { additions: 11, multiplications: 22, comparisons: 33 });
+        let mut c = a;
+        c += b;
+        assert_eq!(c.total(), 66);
+    }
+
+    #[test]
+    fn mu_sigma_formula_matches_paper() {
+        // N=9, w=100 -> Nw=900: 5400 adds, 1800 muls, 2700 cmps.
+        let ops = mu_sigma_analytic(9, 100);
+        assert_eq!(ops.additions, 5400);
+        assert_eq!(ops.multiplications, 1800);
+        assert_eq!(ops.comparisons, 2700);
+    }
+
+    #[test]
+    fn kswin_formula_matches_paper() {
+        let ops = kswin_analytic(9, 100, 50);
+        assert_eq!(ops.additions, 2 * 9 * 50 * 100);
+        assert_eq!(ops.multiplications, 2 * 9 * 50 * 100);
+        let expect = ((1.0 + 4.0 * 50.0) * 9.0 * 100.0 * (5000.0f64).log2() + 9.0) as u64;
+        assert_eq!(ops.comparisons, expect);
+    }
+
+    #[test]
+    fn kswin_dominates_mu_sigma() {
+        // The headline claim of Table II: KSWIN costs orders of magnitude
+        // more than μ/σ-Change for realistic parameters.
+        for &(n, w, m) in &[(9, 100, 50), (19, 100, 50), (38, 100, 50)] {
+            let ms = mu_sigma_analytic(n, w);
+            let ks = kswin_analytic(n, w, m);
+            assert!(ks.total() > 10 * ms.total(), "n={n} w={w} m={m}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Order statistics.
+//!
+//! The evaluation harness uses quantiles for two jobs: picking detection
+//! thresholds (`sad-metrics` sweeps thresholds over score quantiles rather
+//! than raw grid points so the PR curve has one point per distinct decision
+//! boundary region) and summarizing distributions in the experiment reports.
+
+/// Linear-interpolation quantile (type-7 estimator, the R/NumPy default).
+///
+/// `q` must be in `[0, 1]`. Returns `None` for an empty slice. Input need
+/// not be sorted.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile over an already sorted slice (ascending).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median via [`quantile`].
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let v = [5.0, -1.0, 3.0];
+        assert_eq!(quantile(&v, 0.0), Some(-1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn interpolation_matches_numpy() {
+        // numpy.quantile([1,2,3,4], 0.25) == 1.75
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.25), Some(1.75));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_fraction_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Quantiles are monotone in q and bounded by min/max.
+            #[test]
+            fn monotone_and_bounded(
+                values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                qa in 0.0f64..1.0,
+                qb in 0.0f64..1.0,
+            ) {
+                let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+                let vlo = quantile(&values, lo).unwrap();
+                let vhi = quantile(&values, hi).unwrap();
+                prop_assert!(vlo <= vhi + 1e-12);
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
+            }
+        }
+    }
+}

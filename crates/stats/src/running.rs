@@ -1,0 +1,342 @@
+//! Incrementally maintained mean and variance.
+//!
+//! The μ/σ-Change drift strategy (paper §IV-B) keeps a running mean of the
+//! training set and updates it in `O(1)` per stream step:
+//!
+//! ```text
+//! μ_t = μ_{t-1} + (x_t - x*) / N      (replace x* by x_t, set size fixed)
+//! μ_t = ((N-1) μ_{t-1} + x_t) / N     (append x_t, set grows to N)
+//! ```
+//!
+//! [`RunningStats`] implements these update rules for scalars together with
+//! the matching second-moment updates; [`VectorRunningStats`] applies them
+//! element-wise across feature-vector dimensions, which is exactly the
+//! `Nw`-element mean feature vector whose cost Table II tallies.
+
+/// Running mean/variance over a multiset of scalars with `O(1)`
+/// insert / remove / replace.
+///
+/// Internally tracks the count, the sum and the sum of squares. The
+/// sum-of-squares form (rather than Welford's) is chosen because the
+/// training-set strategies *remove* arbitrary elements (reservoirs) and
+/// Welford's recurrence does not support removal; the values seen here are
+/// normalized sensor readings, so catastrophic cancellation is not a
+/// practical concern (property-tested against batch recomputation).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an accumulator from a batch of values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Number of tracked values.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a value.
+    #[inline]
+    pub fn insert(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+    }
+
+    /// Removes one occurrence of a value previously inserted.
+    ///
+    /// # Panics
+    /// Panics if the accumulator is empty.
+    #[inline]
+    pub fn remove(&mut self, v: f64) {
+        assert!(self.n > 0, "remove from empty RunningStats");
+        self.n -= 1;
+        self.sum -= v;
+        self.sum_sq -= v * v;
+        if self.n == 0 {
+            // Snap accumulated rounding error back to exactly zero.
+            self.sum = 0.0;
+            self.sum_sq = 0.0;
+        }
+    }
+
+    /// Replaces `old` with `new` — the paper's sliding-window/reservoir
+    /// update `μ_t = μ_{t-1} + (x_t - x*)/N`.
+    #[inline]
+    pub fn replace(&mut self, old: f64, new: f64) {
+        assert!(self.n > 0, "replace on empty RunningStats");
+        self.sum += new - old;
+        self.sum_sq += new * new - old * old;
+    }
+
+    /// Current mean (`0.0` when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Population variance (`0.0` when empty). Clamped at zero to absorb
+    /// floating-point jitter from long insert/remove sequences.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.n as f64 - m * m).max(0.0)
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Element-wise running statistics over fixed-dimension vectors.
+///
+/// Maintains the mean feature vector `μ_t ∈ R^d` and per-dimension variance
+/// of a training set of feature vectors, supporting the same `O(1)`-per-step
+/// (i.e. `O(d)` arithmetic) insert/remove/replace updates as
+/// [`RunningStats`].
+#[derive(Debug, Clone)]
+pub struct VectorRunningStats {
+    dims: Vec<RunningStats>,
+}
+
+impl VectorRunningStats {
+    /// Creates an accumulator for `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        Self { dims: vec![RunningStats::new(); dim] }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of tracked vectors.
+    pub fn count(&self) -> usize {
+        self.dims.first().map_or(0, RunningStats::count)
+    }
+
+    /// Adds a vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    pub fn insert(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.dims.len(), "dimension mismatch");
+        for (d, &x) in self.dims.iter_mut().zip(v) {
+            d.insert(x);
+        }
+    }
+
+    /// Removes a previously inserted vector.
+    pub fn remove(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.dims.len(), "dimension mismatch");
+        for (d, &x) in self.dims.iter_mut().zip(v) {
+            d.remove(x);
+        }
+    }
+
+    /// Replaces `old` with `new` in one pass.
+    pub fn replace(&mut self, old: &[f64], new: &[f64]) {
+        assert_eq!(old.len(), self.dims.len(), "dimension mismatch");
+        assert_eq!(new.len(), self.dims.len(), "dimension mismatch");
+        for (d, (&o, &n)) in self.dims.iter_mut().zip(old.iter().zip(new)) {
+            d.replace(o, n);
+        }
+    }
+
+    /// Mean feature vector.
+    pub fn mean(&self) -> Vec<f64> {
+        self.dims.iter().map(RunningStats::mean).collect()
+    }
+
+    /// Per-dimension population standard deviation.
+    pub fn std_dev(&self) -> Vec<f64> {
+        self.dims.iter().map(RunningStats::std_dev).collect()
+    }
+
+    /// Average of the per-dimension standard deviations — the scalar `σ_t`
+    /// the μ/σ-Change trigger compares against.
+    pub fn mean_std_dev(&self) -> f64 {
+        if self.dims.is_empty() {
+            return 0.0;
+        }
+        self.dims.iter().map(RunningStats::std_dev).sum::<f64>() / self.dims.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_mean_var(values: &[f64]) -> (f64, f64) {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn insert_matches_batch() {
+        let values = [1.0, 2.0, 4.0, 8.0, -3.0];
+        let s = RunningStats::from_values(&values);
+        let (m, v) = batch_mean_var(&values);
+        assert!((s.mean() - m).abs() < 1e-12);
+        assert!((s.variance() - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_matches_batch() {
+        let mut s = RunningStats::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        s.remove(2.0);
+        let (m, v) = batch_mean_var(&[1.0, 3.0, 4.0]);
+        assert!((s.mean() - m).abs() < 1e-12);
+        assert!((s.variance() - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replace_equals_remove_then_insert() {
+        let mut a = RunningStats::from_values(&[5.0, 7.0, 9.0]);
+        let mut b = a.clone();
+        a.replace(7.0, 2.0);
+        b.remove(7.0);
+        b.insert(2.0);
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.variance() - b.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn constant_values_have_zero_variance() {
+        let s = RunningStats::from_values(&[3.0; 100]);
+        assert!(s.variance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_to_empty_resets_exactly() {
+        let mut s = RunningStats::new();
+        s.insert(0.1);
+        s.insert(0.2);
+        s.remove(0.1);
+        s.remove(0.2);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove from empty")]
+    fn remove_from_empty_panics() {
+        RunningStats::new().remove(1.0);
+    }
+
+    #[test]
+    fn vector_stats_mean_and_std() {
+        let mut s = VectorRunningStats::new(2);
+        s.insert(&[1.0, 10.0]);
+        s.insert(&[3.0, 30.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), vec![2.0, 20.0]);
+        let sd = s.std_dev();
+        assert!((sd[0] - 1.0).abs() < 1e-12);
+        assert!((sd[1] - 10.0).abs() < 1e-12);
+        assert!((s.mean_std_dev() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_replace_tracks_sliding_window() {
+        let mut s = VectorRunningStats::new(1);
+        s.insert(&[1.0]);
+        s.insert(&[2.0]);
+        s.insert(&[3.0]);
+        // Slide: drop 1.0, add 4.0 -> window {2,3,4}.
+        s.replace(&[1.0], &[4.0]);
+        assert!((s.mean()[0] - 3.0).abs() < 1e-12);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn vector_dim_mismatch_panics() {
+        VectorRunningStats::new(3).insert(&[1.0]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// After any interleaving of inserts, the running stats match a
+            /// batch recomputation to high precision.
+            #[test]
+            fn running_equals_batch(values in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+                let s = RunningStats::from_values(&values);
+                let (m, v) = batch_mean_var(&values);
+                prop_assert!((s.mean() - m).abs() < 1e-8);
+                prop_assert!((s.variance() - v).abs() < 1e-5);
+            }
+
+            /// Replacing every element one by one keeps stats equal to the
+            /// batch stats of the final multiset.
+            #[test]
+            fn replace_chain_equals_batch(
+                init in proptest::collection::vec(-100f64..100.0, 5..40),
+                updates in proptest::collection::vec(-100f64..100.0, 5..40),
+            ) {
+                let mut s = RunningStats::from_values(&init);
+                let mut current = init.clone();
+                for (i, &u) in updates.iter().enumerate() {
+                    let idx = i % current.len();
+                    s.replace(current[idx], u);
+                    current[idx] = u;
+                }
+                let (m, v) = batch_mean_var(&current);
+                prop_assert!((s.mean() - m).abs() < 1e-8);
+                prop_assert!((s.variance() - v).abs() < 1e-5);
+            }
+
+            /// Variance is never negative, even under adversarial
+            /// insert/remove interleavings.
+            #[test]
+            fn variance_nonnegative(
+                values in proptest::collection::vec(-1e6f64..1e6, 2..100),
+            ) {
+                let mut s = RunningStats::from_values(&values);
+                for &v in values.iter().take(values.len() / 2) {
+                    s.remove(v);
+                }
+                prop_assert!(s.variance() >= 0.0);
+            }
+        }
+    }
+}

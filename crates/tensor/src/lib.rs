@@ -1,0 +1,29 @@
+//! # sad-tensor
+//!
+//! Minimal dense linear-algebra substrate for the `streamad` workspace.
+//!
+//! The streaming anomaly detection framework reproduced here needs exactly
+//! four numerical capabilities and nothing more:
+//!
+//! * a dense row-major [`Matrix`] with the usual algebra ([`matrix`]),
+//! * direct solvers — Gaussian elimination with partial pivoting and
+//!   least-squares via the normal equations ([`mod@solve`]) — used by the
+//!   vector-autoregressive model,
+//! * free-standing vector kernels (dot products, norms, cosine similarity)
+//!   used by every nonconformity measure ([`vector`]),
+//! * first-order optimizers (SGD with momentum, Adam) operating on flat
+//!   parameter slices ([`optim`]), shared by all gradient-trained models.
+//!
+//! Everything is `f64`; streaming anomaly detection workloads are tiny by
+//! BLAS standards (windows of a few hundred elements) and the benchmarks in
+//! `sad-bench` confirm these kernels are never the bottleneck.
+
+pub mod matrix;
+pub mod optim;
+pub mod solve;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, OnlineNewtonStep, Optimizer, Sgd};
+pub use solve::{invert, least_squares, solve, SolveError};
+pub use vector::{axpy, cosine_similarity, dot, l2_norm, linf_norm, mean, scale, sub};

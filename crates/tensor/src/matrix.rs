@@ -1,0 +1,451 @@
+//! Dense row-major matrix.
+//!
+//! [`Matrix`] stores `rows * cols` values contiguously in row-major order.
+//! All binary operations panic on shape mismatch — a shape mismatch in this
+//! workspace is always a programming error, never a data error, so the panic
+//! sites double as cheap internal assertions for the model implementations.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses the classic i-k-j loop order so the innermost loop walks both
+    /// operands contiguously (see the Rust Performance Book on cache-friendly
+    /// traversal).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec shape mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `self^T * v` without materializing
+    /// the transpose (hot in backprop).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows`.
+    pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "matvec_t shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * a;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v * s).collect() }
+    }
+
+    /// In-place `self += s * rhs` (the workhorse of gradient updates).
+    pub fn add_scaled(&mut self, rhs: &Matrix, s: f64) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    fn zip_with(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "element-wise op shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+        assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0, 2.0], &[0.0, 3.0, 1.0]]);
+        let v = vec![2.0, 1.0, 0.5];
+        assert_eq!(a.matvec(&v), vec![2.0, 3.5]);
+    }
+
+    #[test]
+    fn matvec_t_equals_transpose_matvec() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i as f64) - (j as f64) * 0.5);
+        let v = vec![1.0, -2.0, 0.5, 3.0];
+        assert_eq!(a.matvec_t(&v), a.transpose().matvec(&v));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(2, 5, |i, j| (i + j) as f64 * 1.5);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(b.sub(&a), Matrix::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, 10.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn add_scaled_in_place() {
+        let mut a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let g = Matrix::from_rows(&[&[2.0, -4.0]]);
+        a.add_scaled(&g, -0.5);
+        assert_eq!(a, Matrix::from_rows(&[&[0.0, 3.0]]));
+    }
+
+    #[test]
+    fn frobenius_norm_of_345() {
+        let a = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(a.is_finite());
+        a[(1, 1)] = f64::NAN;
+        assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let a = Matrix::from_rows(&[&[-1.0, 4.0]]);
+        assert_eq!(a.map(f64::abs), Matrix::from_rows(&[&[1.0, 4.0]]));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-100.0f64..100.0, rows * cols)
+                .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+        }
+
+        fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+            a.shape() == b.shape()
+                && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() < tol)
+        }
+
+        proptest! {
+            /// (AB)C == A(BC) on random small matrices.
+            #[test]
+            fn matmul_is_associative(
+                a in matrix(3, 4),
+                b in matrix(4, 2),
+                c in matrix(2, 5),
+            ) {
+                let left = a.matmul(&b).matmul(&c);
+                let right = a.matmul(&b.matmul(&c));
+                prop_assert!(close(&left, &right, 1e-6));
+            }
+
+            /// (AB)^T == B^T A^T.
+            #[test]
+            fn transpose_reverses_products(a in matrix(3, 4), b in matrix(4, 2)) {
+                let lhs = a.matmul(&b).transpose();
+                let rhs = b.transpose().matmul(&a.transpose());
+                prop_assert!(close(&lhs, &rhs, 1e-9));
+            }
+
+            /// A(x + y) == Ax + Ay (matvec distributes).
+            #[test]
+            fn matvec_is_linear(
+                a in matrix(4, 3),
+                x in proptest::collection::vec(-50.0f64..50.0, 3),
+                y in proptest::collection::vec(-50.0f64..50.0, 3),
+            ) {
+                let sum: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + q).collect();
+                let lhs = a.matvec(&sum);
+                let ax = a.matvec(&x);
+                let ay = a.matvec(&y);
+                for (l, (p, q)) in lhs.iter().zip(ax.iter().zip(&ay)) {
+                    prop_assert!((l - (p + q)).abs() < 1e-8);
+                }
+            }
+
+            /// add/sub round-trips to the original matrix.
+            #[test]
+            fn add_then_sub_is_identity(a in matrix(3, 3), b in matrix(3, 3)) {
+                let back = a.add(&b).sub(&b);
+                prop_assert!(close(&back, &a, 1e-9));
+            }
+        }
+    }
+}

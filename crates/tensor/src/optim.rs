@@ -1,0 +1,314 @@
+//! First-order optimizers over flat parameter slices.
+//!
+//! Every gradient-trained model in the workspace (online ARIMA, the
+//! autoencoders, USAD, N-BEATS) exposes its parameters as one flat `[f64]`
+//! buffer; the optimizer consumes an equally shaped gradient buffer. This
+//! mirrors the paper's `grads := Σ Opt(∂L/∂θ)` formulation (§IV-B) where the
+//! optimizer is an interchangeable component of the fine-tuning step.
+
+/// A stateful first-order optimizer.
+///
+/// `step` applies one update `θ ← θ - f(grad)` in place. Implementations may
+/// keep per-parameter state (momentum, Adam moments); the state vector is
+/// lazily sized on first use so one optimizer instance can only ever serve
+/// one parameter buffer.
+pub trait Optimizer {
+    /// Applies one in-place update to `params` given `grads`.
+    ///
+    /// # Panics
+    /// Panics if `params.len() != grads.len()`, or if the same optimizer is
+    /// reused on a buffer of a different length.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+
+    /// Resets all internal state (moments, step counters).
+    fn reset(&mut self);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum factor in `[0, 1)`; `0.0` disables momentum.
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.momentum == 0.0 {
+            for (p, g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        assert_eq!(self.velocity.len(), params.len(), "optimizer reused on different buffer");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias-corrected moments.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (α).
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.m.is_empty() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        assert_eq!(self.m.len(), params.len(), "optimizer reused on different buffer");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+/// The Online Newton Step (Hazan et al. 2007), the second-order online
+/// optimizer used by Liu et al.'s online ARIMA.
+///
+/// Maintains `A_t = εI + Σ g g^T` and its inverse via the Sherman–Morrison
+/// identity, updating `θ ← θ − (1/η) A_t⁻¹ g`. Memory and per-step cost are
+/// `O(d²)`, which is fine for the small coefficient vectors it is meant for
+/// (ARIMA's `γ ∈ R^{w−d−1}`) and intentionally not for neural nets.
+#[derive(Debug, Clone)]
+pub struct OnlineNewtonStep {
+    /// Step-size parameter η (larger = smaller steps).
+    pub eta: f64,
+    /// Initialization constant: `A₀ = eps · I`.
+    pub eps: f64,
+    a_inv: crate::matrix::Matrix,
+    initialized: bool,
+}
+
+impl OnlineNewtonStep {
+    /// Creates an ONS optimizer with step parameter `eta` and
+    /// initialization `A₀ = eps·I`.
+    pub fn new(eta: f64, eps: f64) -> Self {
+        assert!(eta > 0.0 && eps > 0.0, "eta and eps must be positive");
+        Self { eta, eps, a_inv: crate::matrix::Matrix::zeros(0, 0), initialized: false }
+    }
+}
+
+impl Optimizer for OnlineNewtonStep {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let d = params.len();
+        if !self.initialized {
+            self.a_inv = crate::matrix::Matrix::from_fn(d, d, |i, j| {
+                if i == j {
+                    1.0 / self.eps
+                } else {
+                    0.0
+                }
+            });
+            self.initialized = true;
+        }
+        assert_eq!(self.a_inv.rows(), d, "optimizer reused on different buffer");
+        // Sherman–Morrison: A⁻¹ ← A⁻¹ − (A⁻¹ g)(A⁻¹ g)ᵀ / (1 + gᵀ A⁻¹ g).
+        let ag = self.a_inv.matvec(grads);
+        let denom = 1.0 + grads.iter().zip(&ag).map(|(g, v)| g * v).sum::<f64>();
+        if denom.abs() > f64::EPSILON {
+            for i in 0..d {
+                for j in 0..d {
+                    self.a_inv[(i, j)] -= ag[i] * ag[j] / denom;
+                }
+            }
+        }
+        // θ ← θ − (1/η) A⁻¹ g (recomputed with the updated inverse, as in
+        // the standard ONS formulation).
+        let direction = self.a_inv.matvec(grads);
+        for (p, dgi) in params.iter_mut().zip(&direction) {
+            *p -= dgi / self.eta;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.initialized = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 and returns the final x.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = [0.0_f64];
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!((minimize(&mut opt, 200) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        assert!((minimize(&mut opt, 400) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!((minimize(&mut opt, 500) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_single_step_is_lr_times_grad() {
+        let mut opt = Sgd::new(0.5);
+        let mut p = [1.0, 2.0];
+        opt.step(&mut p, &[2.0, -2.0]);
+        assert_eq!(p, [0.0, 3.0]);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the very first Adam step is ≈ lr * sign(g).
+        let mut opt = Adam::new(0.01);
+        let mut p = [0.0];
+        opt.step(&mut p, &[123.0]);
+        assert!((p[0] + 0.01).abs() < 1e-6, "got {}", p[0]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(0.1);
+        let mut p = [0.0];
+        opt.step(&mut p, &[1.0]);
+        opt.reset();
+        // After reset the optimizer accepts a differently sized buffer.
+        let mut q = [0.0, 0.0];
+        opt.step(&mut q, &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "param/grad length mismatch")]
+    fn mismatched_grads_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = [0.0];
+        opt.step(&mut p, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "optimizer reused on different buffer")]
+    fn buffer_reuse_is_detected() {
+        let mut opt = Adam::new(0.1);
+        let mut p = [0.0];
+        opt.step(&mut p, &[1.0]);
+        let mut q = [0.0, 0.0];
+        opt.step(&mut q, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn ons_converges_on_quadratic() {
+        let mut opt = OnlineNewtonStep::new(0.1, 0.01);
+        assert!((minimize(&mut opt, 500) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ons_steps_are_descent_directions() {
+        // On a convex quadratic every ONS update must move against the
+        // gradient (A⁻¹ stays positive definite under Sherman–Morrison).
+        let mut opt = OnlineNewtonStep::new(0.5, 0.1);
+        let mut p = [4.0f64, -2.0];
+        for _ in 0..100 {
+            let g = [6.0 * (p[0] - 1.0), 2.0 * (p[1] + 1.0)];
+            let before = p;
+            opt.step(&mut p, &g);
+            let delta = [p[0] - before[0], p[1] - before[1]];
+            let along_grad = delta[0] * g[0] + delta[1] * g[1];
+            assert!(along_grad <= 1e-12, "update must descend: {along_grad}");
+        }
+    }
+
+    #[test]
+    fn ons_step_sizes_decay() {
+        // The accumulated A grows with every gradient, so ONS step lengths
+        // shrink — the O(1/t) schedule that gives its regret bound.
+        let mut opt = OnlineNewtonStep::new(0.5, 0.1);
+        let mut x = [10.0f64];
+        let mut steps = Vec::new();
+        for _ in 0..30 {
+            let g = [2.0 * (x[0] - 3.0)];
+            let before = x[0];
+            opt.step(&mut x, &g);
+            steps.push((x[0] - before).abs());
+        }
+        assert!(steps[5] > steps[29], "early steps larger than late: {:?}", &steps[..6]);
+    }
+
+    #[test]
+    fn ons_reset_allows_new_buffer() {
+        let mut opt = OnlineNewtonStep::new(1.0, 1.0);
+        let mut p = [0.0];
+        opt.step(&mut p, &[1.0]);
+        opt.reset();
+        let mut q = [0.0, 0.0];
+        opt.step(&mut q, &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Direct linear solvers.
+//!
+//! The vector-autoregressive model (paper §IV-C) estimates its coefficient
+//! matrices by least squares on the current sliding window. Window sizes in
+//! the evaluation are in the hundreds, so an `O(n^3)` dense Gaussian
+//! elimination with partial pivoting is entirely adequate and avoids pulling
+//! in a LAPACK binding.
+
+use crate::matrix::Matrix;
+
+/// Errors from the direct solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The system matrix is singular (or numerically so) to working precision.
+    Singular,
+    /// Operand shapes are incompatible with the requested operation.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular to working precision"),
+            SolveError::ShapeMismatch => write!(f, "operand shapes are incompatible"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+const PIVOT_EPS: f64 = 1e-12;
+
+/// Solves `A X = B` for `X` with Gaussian elimination and partial pivoting.
+///
+/// `A` must be square; `B` may have any number of right-hand-side columns.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    let m = b.cols();
+    let mut lu = a.clone();
+    let mut x = b.clone();
+
+    for k in 0..n {
+        // Partial pivoting: bring the largest remaining element in column k
+        // to the diagonal to keep the elimination numerically stable.
+        let (pivot_row, pivot_val) = (k..n)
+            .map(|i| (i, lu[(i, k)].abs()))
+            .max_by(|l, r| l.1.total_cmp(&r.1))
+            .expect("non-empty pivot range");
+        if pivot_val < PIVOT_EPS {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != k {
+            swap_rows(&mut lu, k, pivot_row);
+            swap_rows(&mut x, k, pivot_row);
+        }
+        let pivot = lu[(k, k)];
+        for i in k + 1..n {
+            let factor = lu[(i, k)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            lu[(i, k)] = 0.0;
+            for j in k + 1..n {
+                let v = lu[(k, j)];
+                lu[(i, j)] -= factor * v;
+            }
+            for j in 0..m {
+                let v = x[(k, j)];
+                x[(i, j)] -= factor * v;
+            }
+        }
+    }
+
+    // Back substitution.
+    for k in (0..n).rev() {
+        let pivot = lu[(k, k)];
+        for j in 0..m {
+            let mut acc = x[(k, j)];
+            for i in k + 1..n {
+                acc -= lu[(k, i)] * x[(i, j)];
+            }
+            x[(k, j)] = acc / pivot;
+        }
+    }
+    Ok(x)
+}
+
+/// Inverts a square matrix.
+pub fn invert(a: &Matrix) -> Result<Matrix, SolveError> {
+    solve(a, &Matrix::identity(a.rows()))
+}
+
+/// Solves the least-squares problem `min_X ||A X - B||_F` via the normal
+/// equations `(A^T A + ridge I) X = A^T B`.
+///
+/// A tiny ridge term keeps the normal equations well conditioned when the
+/// regressor matrix is rank deficient — which happens whenever a channel in
+/// the sliding window is constant. Pass `ridge = 0.0` for the pure solution.
+pub fn least_squares(a: &Matrix, b: &Matrix, ridge: f64) -> Result<Matrix, SolveError> {
+    if a.rows() != b.rows() {
+        return Err(SolveError::ShapeMismatch);
+    }
+    let at = a.transpose();
+    let mut ata = at.matmul(a);
+    if ridge > 0.0 {
+        for i in 0..ata.rows() {
+            ata[(i, i)] += ridge;
+        }
+    }
+    let atb = at.matmul(b);
+    solve(&ata, &atb)
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (head, tail) = data.split_at_mut(hi * cols);
+    head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solve_2x2_known_solution() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[10.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert_close(&x, &Matrix::from_rows(&[&[1.0], &[3.0]]), 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[2.0], &[3.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert_close(&x, &Matrix::from_rows(&[&[3.0], &[2.0]]), 1e-12);
+    }
+
+    #[test]
+    fn solve_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert_close(&a.matmul(&x), &Matrix::identity(2), 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert_eq!(solve(&a, &b), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 1);
+        assert_eq!(solve(&a, &b), Err(SolveError::ShapeMismatch));
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 2.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let inv = invert(&a).unwrap();
+        assert_close(&a.matmul(&inv), &Matrix::identity(3), 1e-9);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_system() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let truth = Matrix::from_rows(&[&[2.0], &[-1.0]]);
+        let b = a.matmul(&truth);
+        let x = least_squares(&a, &b, 0.0).unwrap();
+        assert_close(&x, &truth, 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_line_fit() {
+        // Fit y = 2x + 1 through noisy-free points; design matrix [x, 1].
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(xs.len(), 2, |i, j| if j == 0 { xs[i] } else { 1.0 });
+        let b = Matrix::from_fn(xs.len(), 1, |i, _| 2.0 * xs[i] + 1.0);
+        let x = least_squares(&a, &b, 0.0).unwrap();
+        assert_close(&x, &Matrix::from_rows(&[&[2.0], &[1.0]]), 1e-9);
+    }
+
+    #[test]
+    fn least_squares_ridge_handles_rank_deficiency() {
+        // Second column is all zeros -> A^T A singular without ridge.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[3.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(least_squares(&a, &b, 0.0), Err(SolveError::Singular));
+        let x = least_squares(&a, &b, 1e-8).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-4);
+        assert!(x[(1, 0)].abs() < 1e-4);
+    }
+
+    #[test]
+    fn random_like_system_residual_is_small() {
+        // Deterministic pseudo-random matrix via a simple LCG.
+        let mut state = 42_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        let truth = Matrix::from_fn(n, 1, |_, _| next());
+        let b = a.matmul(&truth);
+        let x = solve(&a, &b).unwrap();
+        let resid = a.matmul(&x).sub(&b).frobenius_norm();
+        assert!(resid < 1e-8, "residual {resid}");
+    }
+}

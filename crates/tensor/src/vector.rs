@@ -1,0 +1,150 @@
+//! Free-standing vector kernels.
+//!
+//! These are the primitives behind every nonconformity measure in the
+//! framework: the cosine-similarity score (`1 - cos(x, x̂)`, paper §IV-D)
+//! reduces to [`dot`] and [`l2_norm`], and the μ/σ-Change drift detector
+//! compares mean feature vectors with [`sub`] + norms.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute value (supremum norm).
+#[inline]
+pub fn linf_norm(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[inline]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// In-place scaling `a *= s`.
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// In-place `y += alpha * x` (the BLAS `axpy` kernel).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Cosine similarity between two vectors.
+///
+/// Returns `0.0` when either vector has (near-)zero norm: a zero vector
+/// carries no directional information, and treating it as orthogonal gives
+/// the conservative nonconformity `a_t = 1 - 0 = 1` ("maximally strange")
+/// rather than a NaN that would poison downstream anomaly scores. Constant
+/// all-zero channels do occur in server-metrics corpora, so this branch is
+/// exercised in practice.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_pythagoras() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_norm_picks_max_abs() {
+        assert_eq!(linf_norm(&[-7.0, 2.0, 6.5]), 7.0);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn sub_and_axpy() {
+        assert_eq!(sub(&[3.0, 1.0], &[1.0, 1.0]), vec![2.0, 0.0]);
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = vec![1.0, -2.0];
+        scale(&mut a, -3.0);
+        assert_eq!(a, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn cosine_identical_vectors_is_one() {
+        let v = [0.3, -1.2, 2.0];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_opposite_vectors_is_minus_one() {
+        let v = [1.0, 2.0];
+        let w = [-2.0, -4.0];
+        assert!((cosine_similarity(&v, &w) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [1.0, 3.0, -2.0];
+        let b = [0.5, -1.0, 2.0];
+        let scaled: Vec<f64> = a.iter().map(|v| v * 17.0).collect();
+        assert!((cosine_similarity(&a, &b) - cosine_similarity(&scaled, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: assemble one streaming detector, feed it a stream with a
+//! planted anomaly, and watch the anomaly score react.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use streamad::core::{paper_algorithms, DetectorConfig, ModelKind, Task1, Task2};
+use streamad::models::{build_detector, BuildParams};
+
+fn main() {
+    // Pick USAD / sliding window / μσ-Change from the paper's Table I grid.
+    let spec = paper_algorithms()
+        .into_iter()
+        .find(|s| {
+            s.model == ModelKind::Usad
+                && s.task1 == Task1::SlidingWindow
+                && s.task2 == Task2::MuSigma
+        })
+        .expect("spec is part of the Table I grid");
+    println!("algorithm: {}", spec.label());
+
+    // A 2-channel stream: two coupled oscillators.
+    let series: Vec<Vec<f64>> = (0..1200)
+        .map(|t| {
+            let x = t as f64 * 0.15;
+            vec![x.sin() + 0.05 * (x * 7.3).sin(), (x * 0.6).cos()]
+        })
+        .collect();
+
+    // Plant an anomaly: channel 0 flatlines for 30 steps.
+    let mut series = series;
+    for row in series.iter_mut().take(930).skip(900) {
+        row[0] = 0.42;
+    }
+
+    let config = DetectorConfig {
+        window: 16,
+        channels: 2,
+        warmup: 300,
+        initial_epochs: 10,
+        fine_tune_epochs: 1,
+    };
+    let mut detector = build_detector(spec, &BuildParams::new(config).with_capacity(40));
+
+    let mut peak_in_anomaly: f64 = 0.0;
+    let mut baseline_sum = 0.0;
+    let mut baseline_n = 0usize;
+    for (t, s) in series.iter().enumerate() {
+        let Some(out) = detector.step(s) else { continue };
+        if (900..950).contains(&t) {
+            peak_in_anomaly = peak_in_anomaly.max(out.anomaly_score);
+        } else if t > 400 {
+            baseline_sum += out.anomaly_score;
+            baseline_n += 1;
+        }
+        if out.fine_tuned {
+            println!("t={t:4}: concept drift detected -> model fine-tuned");
+        }
+    }
+
+    let baseline = baseline_sum / baseline_n.max(1) as f64;
+    println!("baseline anomaly score (normal regime): {baseline:.3}");
+    println!("peak anomaly score inside the planted flatline: {peak_in_anomaly:.3}");
+    // The anomaly likelihood hovers around 0.5 on a steady regime (Q(0)),
+    // so judge separation additively.
+    if peak_in_anomaly > baseline + 0.3 {
+        println!("=> the detector flags the planted anomaly.");
+    } else {
+        println!("=> weak separation; try more warm-up or a different algorithm.");
+    }
+}

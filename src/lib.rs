@@ -1,0 +1,49 @@
+//! # streamad
+//!
+//! A complete Rust implementation of **"Extended Framework and Evaluation
+//! for Multivariate Streaming Anomaly Detection with Machine Learning"**
+//! (ICDE 2024): the SAFARI framework extended to model-based detectors, the
+//! five evaluated ML models, the three evaluation metric families, and
+//! synthetic stand-ins for the three benchmark corpora.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streamad::core::{paper_algorithms, DetectorConfig};
+//! use streamad::models::{build_detector, BuildParams};
+//!
+//! // Pick one of the paper's 26 algorithms (Table I)...
+//! let spec = paper_algorithms()[0];
+//! // ...configure the detector (window w, channels N, warm-up length)...
+//! let config = DetectorConfig { window: 8, channels: 2, warmup: 60, initial_epochs: 2, fine_tune_epochs: 1 };
+//! let mut detector = build_detector(spec, &BuildParams::new(config).with_capacity(15));
+//! // ...and feed it a stream, one vector per step.
+//! for t in 0..200usize {
+//!     let s = vec![(t as f64 * 0.1).sin(), (t as f64 * 0.07).cos()];
+//!     if let Some(out) = detector.step(&s) {
+//!         assert!((0.0..=1.0).contains(&out.anomaly_score));
+//!     }
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`core`] | the framework: data representation, Task-1/Task-2 learning strategies, nonconformity, anomaly scoring, the [`core::Detector`] pipeline, the Table I registry |
+//! | [`models`] | online ARIMA, VAR, PCB-iForest, 2-layer AE, USAD, N-BEATS + the spec→detector builder |
+//! | [`metrics`] | range precision/recall, PR-AUC, NAB, VUS |
+//! | [`data`] | synthetic Daphnet/Exathlon/SMD-like corpora, injectors, CSV I/O |
+//! | [`forest`] | extended isolation forest substrate |
+//! | [`nn`] | hand-rolled MLP substrate with verified backprop |
+//! | [`stats`] | running statistics, KS test, Gaussian tail, op counting |
+//! | [`tensor`] | dense linear algebra and optimizers |
+
+pub use sad_core as core;
+pub use sad_data as data;
+pub use sad_forest as forest;
+pub use sad_metrics as metrics;
+pub use sad_models as models;
+pub use sad_nn as nn;
+pub use sad_stats as stats;
+pub use sad_tensor as tensor;

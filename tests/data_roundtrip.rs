@@ -1,0 +1,82 @@
+//! Corpus generation and serialization integration tests.
+
+use streamad::data::csv::{from_csv, load_csv, save_csv, to_csv};
+use streamad::data::{daphnet_like, exathlon_like, smd_like, CorpusParams};
+
+#[test]
+fn all_three_corpora_have_paper_channel_counts() {
+    let p = CorpusParams { length: 600, n_series: 1, anomalies_per_series: 2, with_drift: false };
+    assert_eq!(daphnet_like(1, p).series[0].channels(), 9);
+    assert_eq!(exathlon_like(1, p).series[0].channels(), 19);
+    assert_eq!(smd_like(1, p).series[0].channels(), 38);
+}
+
+#[test]
+fn corpora_are_finite_and_labelled() {
+    let p = CorpusParams::small();
+    for corpus in [daphnet_like(4, p), exathlon_like(4, p), smd_like(4, p)] {
+        assert!(!corpus.series.is_empty());
+        for s in &corpus.series {
+            assert!(s.is_finite(), "{}/{}", corpus.name, s.name);
+            assert!(s.anomaly_points() > 0, "{}/{} has anomalies", corpus.name, s.name);
+            // Anomalies are a minority of the points.
+            assert!(
+                s.anomaly_points() * 4 < s.len(),
+                "{}/{}: {} of {} anomalous",
+                corpus.name,
+                s.name,
+                s.anomaly_points(),
+                s.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_a_corpus_series() {
+    let p = CorpusParams { length: 300, n_series: 1, anomalies_per_series: 2, with_drift: true };
+    let corpus = exathlon_like(8, p);
+    let series = &corpus.series[0];
+    let text = to_csv(series);
+    let back = from_csv(&series.name, &text).expect("parse back");
+    assert_eq!(&back, series);
+}
+
+#[test]
+fn csv_file_round_trip() {
+    let p = CorpusParams { length: 150, n_series: 1, anomalies_per_series: 1, with_drift: false };
+    let corpus = smd_like(21, p);
+    let series = &corpus.series[0];
+    let dir = std::env::temp_dir().join("streamad_it_csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}.csv", series.name));
+    save_csv(series, &path).unwrap();
+    let back = load_csv(&path).unwrap();
+    assert_eq!(back.data, series.data);
+    assert_eq!(back.labels, series.labels);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn anomaly_lengths_match_corpus_character() {
+    let p = CorpusParams { length: 2000, n_series: 2, anomalies_per_series: 4, with_drift: false };
+    let exathlon = exathlon_like(6, p);
+    let smd = smd_like(6, p);
+    let mean_len = |c: &streamad::data::Corpus| -> f64 {
+        let lens: Vec<usize> =
+            c.series.iter().flat_map(|s| s.anomaly_intervals()).map(|(a, b)| b - a).collect();
+        lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64
+    };
+    let e = mean_len(&exathlon);
+    let s = mean_len(&smd);
+    assert!(
+        e > 2.0 * s,
+        "exathlon anomalies ({e:.0}) must be much longer than SMD's ({s:.0})"
+    );
+}
+
+#[test]
+fn different_seeds_give_different_corpora() {
+    let p = CorpusParams { length: 300, n_series: 1, anomalies_per_series: 1, with_drift: false };
+    assert_ne!(daphnet_like(1, p), daphnet_like(2, p));
+}

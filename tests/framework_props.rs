@@ -1,0 +1,67 @@
+//! Property-based integration tests: the full detector pipeline keeps its
+//! invariants under arbitrary (bounded) random streams.
+
+use proptest::prelude::*;
+use streamad::core::{paper_algorithms, DetectorConfig, ScoreKind};
+use streamad::models::{build_detector, BuildParams};
+
+fn params(channels: usize, score: ScoreKind) -> BuildParams {
+    let config = DetectorConfig {
+        window: 6,
+        channels,
+        warmup: 60,
+        initial_epochs: 1,
+        fine_tune_epochs: 1,
+    };
+    BuildParams::new(config).with_capacity(12).with_kswin_stride(4).with_score(score)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any bounded random stream through any algorithm yields finite,
+    /// in-range anomaly scores and a consistent output count.
+    #[test]
+    fn pipeline_invariants_hold_on_random_streams(
+        values in proptest::collection::vec(-10.0f64..10.0, 150 * 2),
+        spec_idx in 0usize..26,
+        score_idx in 0u8..3,
+    ) {
+        let series: Vec<Vec<f64>> = values.chunks(2).map(|c| c.to_vec()).collect();
+        let score = match score_idx {
+            0 => ScoreKind::Raw,
+            1 => ScoreKind::Average,
+            _ => ScoreKind::AnomalyLikelihood,
+        };
+        let spec = paper_algorithms()[spec_idx];
+        let mut det = build_detector(spec, &params(2, score));
+        let mut outputs = 0usize;
+        for s in &series {
+            if let Some(out) = det.step(s) {
+                outputs += 1;
+                prop_assert!(out.anomaly_score.is_finite(), "{}", spec.label());
+                prop_assert!((0.0..=1.0).contains(&out.anomaly_score), "{}", spec.label());
+                prop_assert!((0.0..=1.0).contains(&out.nonconformity), "{}", spec.label());
+            }
+        }
+        prop_assert_eq!(outputs, series.len() - 60);
+    }
+
+    /// The training set never exceeds its capacity regardless of stream
+    /// content, and fine-tune counts stay bounded by the stream length.
+    #[test]
+    fn training_set_capacity_invariant(
+        values in proptest::collection::vec(-5.0f64..5.0, 120),
+        spec_idx in 0usize..26,
+    ) {
+        let series: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let spec = paper_algorithms()[spec_idx];
+        let p = params(1, ScoreKind::Average);
+        let mut det = build_detector(spec, &p);
+        for s in &series {
+            det.step(s);
+            prop_assert!(det.training_set().len() <= p.train_capacity);
+        }
+        prop_assert!(det.fine_tune_count() <= series.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration of detectors with the metric suite: the paper's evaluation
+//! pipeline (scores → threshold sweep → five metrics) on corpus data, plus
+//! oracle/degenerate cross-checks on the metric implementations.
+
+use streamad::core::{paper_algorithms, DetectorConfig, ScoreKind};
+use streamad::data::{smd_like, CorpusParams};
+use streamad::metrics::{
+    best_f1, intervals_from_labels, nab_score, pr_auc, range_counts, vus_pr,
+};
+use streamad::models::{build_detector, BuildParams};
+
+/// An oracle score stream: exactly the labels, as floats.
+fn oracle_scores(labels: &[bool]) -> Vec<f64> {
+    labels.iter().map(|&l| if l { 0.95 } else { 0.05 }).collect()
+}
+
+#[test]
+fn oracle_scores_max_out_all_metrics() {
+    let params = CorpusParams { length: 1000, n_series: 1, anomalies_per_series: 3, with_drift: false };
+    let corpus = smd_like(5, params);
+    let labels = &corpus.series[0].labels;
+    let scores = oracle_scores(labels);
+
+    let (_th, p, r, f1) = best_f1(&scores, labels, 30);
+    assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+    assert!(pr_auc(&scores, labels, 30) > 0.95);
+    assert!(vus_pr(&scores, labels, 10, 30) > 0.6, "VUS penalizes buffers but stays high");
+    let pred: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+    assert!(nab_score(&pred, labels).score > 0.9);
+}
+
+#[test]
+fn inverted_oracle_scores_floor_the_metrics() {
+    let params = CorpusParams { length: 1000, n_series: 1, anomalies_per_series: 3, with_drift: false };
+    let corpus = smd_like(5, params);
+    let labels = &corpus.series[0].labels;
+    let scores: Vec<f64> = oracle_scores(labels).iter().map(|s| 1.0 - s).collect();
+    let (_th, _p, _r, f1) = best_f1(&scores, labels, 30);
+    assert!(f1 < 0.6, "inverted oracle f1 {f1}");
+    let pred: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+    assert!(nab_score(&pred, labels).score < -1.0, "all FPs and all misses");
+}
+
+#[test]
+fn detector_scores_beat_constant_scores_on_smd_like() {
+    let params = CorpusParams { length: 1200, n_series: 1, anomalies_per_series: 4, with_drift: false };
+    let corpus = smd_like(11, params);
+    let series = &corpus.series[0];
+    let spec = paper_algorithms()[8]; // 2-layer AE / URES / μσ
+    let config = DetectorConfig {
+        window: 10,
+        channels: series.channels(),
+        warmup: 300,
+        initial_epochs: 8,
+        fine_tune_epochs: 1,
+    };
+    let bp = BuildParams::new(config).with_capacity(30).with_score(ScoreKind::AnomalyLikelihood);
+    let mut det = build_detector(spec, &bp);
+    let (scores, offset) = det.score_series(&series.data);
+    let labels = &series.labels[offset..];
+    let auc = pr_auc(&scores, labels, 40);
+    let (_, _, recall, _) = best_f1(&scores, labels, 40);
+    assert!(recall > 0.0, "at least one anomaly found");
+    assert!(auc > 0.0, "informative scores, auc {auc}");
+}
+
+#[test]
+fn range_counts_and_nab_disagree_on_long_false_runs() {
+    // The documented Table III disparity, reproduced end to end on corpus
+    // labels: one long false run → 1 range FP but hugely negative NAB.
+    let params = CorpusParams { length: 1500, n_series: 1, anomalies_per_series: 2, with_drift: false };
+    let corpus = smd_like(2, params);
+    let labels = &corpus.series[0].labels;
+    let truth = intervals_from_labels(labels);
+
+    let mut pred = vec![false; labels.len()];
+    // Detect every true interval at its first step...
+    for iv in &truth {
+        pred[iv.start] = true;
+    }
+    // ...and add one 400-step false-positive run in normal territory.
+    let free = (0..labels.len() - 400)
+        .find(|&s| (s..s + 400).all(|t| !labels[t]))
+        .expect("a quiet region exists");
+    for p in pred.iter_mut().skip(free).take(400) {
+        *p = true;
+    }
+
+    let rc = range_counts(&pred, &truth);
+    assert_eq!(rc.fp, 1, "one false run = one range FP");
+    assert_eq!(rc.recall(), 1.0);
+    let nab = nab_score(&pred, labels).score;
+    assert!(nab < -50.0, "point-wise NAB collapses: {nab}");
+}
+
+#[test]
+fn metric_pipeline_handles_no_anomaly_series() {
+    let params = CorpusParams { length: 600, n_series: 1, anomalies_per_series: 0, with_drift: false };
+    let corpus = smd_like(9, params);
+    let labels = &corpus.series[0].labels;
+    assert!(intervals_from_labels(labels).is_empty());
+    let scores = vec![0.3; labels.len()];
+    let (_, p, r, f1) = best_f1(&scores, labels, 10);
+    assert_eq!((p, r, f1), (0.0, 0.0, 0.0));
+    assert_eq!(pr_auc(&scores, labels, 10), 0.0);
+}
