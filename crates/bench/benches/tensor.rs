@@ -1,0 +1,85 @@
+//! Micro-benchmarks for the dense tensor kernels behind VAR least squares
+//! and the NN layers.
+//!
+//! The interesting comparison is transpose-free vs transpose-then-multiply
+//! on the two shapes the workspace actually hits: square 64×64 products
+//! (layer-sized) and tall-skinny 256×64 normal equations (a VAR refit on a
+//! w=256 window). `matmul_transpose_a(A, A)` computes `A^T A` with rank-1
+//! row sweeps and no transpose allocation; the baseline pays an
+//! `O(rows·cols)` strided copy first.
+//!
+//! ```sh
+//! cargo bench -p sad-bench --bench tensor
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sad_tensor::{least_squares, Matrix};
+use std::hint::black_box;
+
+/// Deterministic dense test matrix (no RNG dependency in the bench).
+fn dense(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let n = 64usize;
+    let a = dense(n, n, 1);
+    let b = dense(n, n, 2);
+    group.bench_with_input(BenchmarkId::new("ikj", format!("{n}x{n}")), &n, |bch, _| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+    group.finish();
+}
+
+fn bench_transpose_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normal_equations");
+    // Tall-skinny regressor: 256 window rows x 64 lagged features.
+    for &(rows, cols) in &[(64usize, 64usize), (256, 64)] {
+        let a = dense(rows, cols, 3);
+        let id = format!("{rows}x{cols}");
+        group.bench_with_input(
+            BenchmarkId::new("transpose_then_matmul", &id),
+            &rows,
+            |bch, _| bch.iter(|| black_box(&a).transpose().matmul(black_box(&a))),
+        );
+        group.bench_with_input(BenchmarkId::new("matmul_transpose_a", &id), &rows, |bch, _| {
+            bch.iter(|| black_box(&a).matmul_transpose_a(black_box(&a)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpose_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_transpose_b");
+    for &(rows, cols) in &[(64usize, 64usize), (256, 64)] {
+        let a = dense(rows, cols, 4);
+        let b = dense(rows, cols, 5);
+        let id = format!("{rows}x{cols}");
+        group.bench_with_input(BenchmarkId::new("matmul_of_transpose", &id), &rows, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(&black_box(&b).transpose()))
+        });
+        group.bench_with_input(BenchmarkId::new("row_dot_kernel", &id), &rows, |bch, _| {
+            bch.iter(|| black_box(&a).matmul_transpose_b(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_least_squares(c: &mut Criterion) {
+    let mut group = c.benchmark_group("least_squares");
+    // The VAR(3) refit shape on a 9-channel corpus: K = 1 + 3*9 = 28.
+    let a = dense(256, 28, 6);
+    let b = dense(256, 9, 7);
+    group.bench_function("var_refit_256x28", |bch| {
+        bch.iter(|| least_squares(black_box(&a), black_box(&b), 1e-6).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_transpose_a, bench_transpose_b, bench_least_squares);
+criterion_main!(benches);

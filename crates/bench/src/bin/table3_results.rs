@@ -8,15 +8,26 @@
 //! AL only).
 //!
 //! ```sh
-//! cargo run --release -p sad-bench --bin table3_results            # quick profile
-//! cargo run --release -p sad-bench --bin table3_results -- --full  # paper-shaped profile
+//! cargo run --release -p sad-bench --bin table3_results             # quick profile
+//! cargo run --release -p sad-bench --bin table3_results -- --full   # paper-shaped profile
+//! cargo run --release -p sad-bench --bin table3_results -- --jobs 4 # explicit worker count
+//! cargo run --release -p sad-bench --bin table3_results -- --serial # one worker
 //! ```
 //!
+//! The 234 (spec, corpus, scorer) cells are independent and run on a
+//! work-stealing job pool (default: all available cores; `--serial` or
+//! `--jobs N` to override). Results are **deterministic and byte-identical
+//! at any job count** — every cell seeds its own RNG chain and lands in a
+//! fixed slot. Per-cell wall times are written to
+//! `bench_output/table3_timing.json` as a perf-regression artifact.
+//!
 //! The quick profile shortens the series and strides the KSWIN test; the
-//! full profile uses w = 100 and a 5000-step warm-up as in the paper (slow:
-//! expect roughly an hour).
+//! full profile uses w = 100 and a 5000-step warm-up as in the paper
+//! (minutes on a multi-core machine instead of the previous ~hour serial).
 
-use sad_bench::{evaluate_spec, harness_params, EvalRow, HarnessScale, Table};
+use sad_bench::{
+    cell_index, run_grid, EvalRow, GridDims, HarnessArgs, HarnessScale, Table, TimingArtifact,
+};
 use sad_core::{paper_algorithms, ScoreKind};
 use sad_data::{daphnet_like, exathlon_like, smd_like, Corpus, CorpusParams};
 
@@ -43,64 +54,62 @@ fn fmt_cells(row: &EvalRow) -> Vec<String> {
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let scale = if full { HarnessScale::Full } else { HarnessScale::Quick };
+    let args = HarnessArgs::from_env();
+    let scale = if args.full { HarnessScale::Full } else { HarnessScale::Quick };
     let cp = corpus_params(scale);
     let corpora: Vec<Corpus> = vec![daphnet_like(42, cp), exathlon_like(42, cp), smd_like(42, cp)];
     let specs = paper_algorithms();
+    let scorers = [ScoreKind::Raw, ScoreKind::Average, ScoreKind::AnomalyLikelihood];
 
+    // Worker count deliberately stays off stdout: the table must be
+    // byte-identical at any `--jobs` value (telemetry goes to stderr).
     println!(
         "Table III: experimental results ({} profile, {} steps/series, {} series/corpus)\n",
-        if full { "full/paper" } else { "quick" },
+        if args.full { "full/paper" } else { "quick" },
         cp.length,
-        cp.n_series
+        cp.n_series,
     );
 
-    let mut header = vec!["Model", "T1", "T2"];
+    // Owned header — no per-cell leak; `Table::with_header` takes it whole.
+    let mut header: Vec<String> = vec!["Model".into(), "T1".into(), "T2".into()];
     for c in &corpora {
         for m in ["Prec", "Rec", "AUC", "VUS", "NAB"] {
-            header.push(Box::leak(format!("{}:{}", &c.name[..2], m).into_boxed_str()));
+            header.push(format!("{}:{}", &c.name[..2], m));
         }
     }
-    let mut table = Table::new(&header.iter().map(|s| &**s).collect::<Vec<_>>());
+    let mut table = Table::with_header(header);
 
-    // Per-scorer accumulation for the final three comparison rows.
-    let mut by_scorer: Vec<(ScoreKind, Vec<Vec<EvalRow>>)> = vec![
-        (ScoreKind::Raw, vec![Vec::new(); corpora.len()]),
-        (ScoreKind::Average, vec![Vec::new(); corpora.len()]),
-        (ScoreKind::AnomalyLikelihood, vec![Vec::new(); corpora.len()]),
-    ];
+    // All 234 cells in one parallel grid run.
+    let grid = run_grid(&specs, &corpora, &scorers, scale, args.pool());
+    let dims = GridDims { corpora: corpora.len(), scorers: scorers.len() };
 
-    for spec in &specs {
+    for (si, spec) in specs.iter().enumerate() {
         let mut cells = vec![
             spec.model.label().to_string(),
             spec.task1.label().to_string(),
             spec.task2.label().to_string(),
         ];
-        for (ci, corpus) in corpora.iter().enumerate() {
-            let params = harness_params(corpus.series[0].channels(), scale);
-            // One run per scorer serves both the headline cell (Table I
-            // scorer average) and the scorer-comparison accumulation.
-            let mut headline = Vec::new();
-            for (kind, acc) in by_scorer.iter_mut() {
-                let row = evaluate_spec(*spec, &params, corpus, *kind);
-                if spec.scores().contains(kind) {
-                    headline.push(row);
-                }
-                acc[ci].push(row);
-            }
+        for ci in 0..corpora.len() {
+            // The headline cell averages the spec's Table I scorers.
+            let headline: Vec<EvalRow> = scorers
+                .iter()
+                .enumerate()
+                .filter(|(_, kind)| spec.scores().contains(kind))
+                .map(|(ki, _)| grid.rows[cell_index(si, ci, ki, dims)])
+                .collect();
             cells.extend(fmt_cells(&EvalRow::mean(&headline)));
         }
         table.row(cells);
-        eprintln!("done: {}", spec.label());
     }
 
     // Final rows: anomaly-score comparison averaged over all algorithms.
-    for (kind, acc) in &by_scorer {
-        let mut cells = vec![format!("Anomaly scores"), String::new(), kind.label().to_string()];
-        for per_corpus in acc {
-            let avg = EvalRow::mean(per_corpus);
-            cells.extend(fmt_cells(&avg));
+    for (ki, kind) in scorers.iter().enumerate() {
+        let mut cells =
+            vec!["Anomaly scores".to_string(), String::new(), kind.label().to_string()];
+        for ci in 0..corpora.len() {
+            let per_corpus: Vec<EvalRow> =
+                (0..specs.len()).map(|si| grid.rows[cell_index(si, ci, ki, dims)]).collect();
+            cells.extend(fmt_cells(&EvalRow::mean(&per_corpus)));
         }
         table.row(cells);
     }
@@ -110,4 +119,27 @@ fn main() {
     println!("Shapes to compare with the paper: ARES ≥ SW/URES on AUC; μ/σ ≈ KS;");
     println!("online ARIMA below the non-linear models; AL > Avg > Raw on NAB;");
     println!("long-anomaly corpora (exathlon-like) produce deeply negative NAB rows.");
+
+    let artifact = TimingArtifact {
+        harness: "table3_results".into(),
+        profile: if args.full { "full" } else { "quick" }.into(),
+        jobs: grid.jobs_used,
+        wall_time: grid.wall_time,
+        cpu_time: grid.cpu_time(),
+        cells: grid
+            .labels
+            .iter()
+            .cloned()
+            .zip(grid.report_times.iter().copied())
+            .collect(),
+    };
+    match artifact.write("bench_output/table3_timing.json") {
+        Ok(()) => eprintln!(
+            "wall {:.2}s, cpu {:.2}s, {} jobs -> bench_output/table3_timing.json",
+            grid.wall_time.as_secs_f64(),
+            grid.cpu_time().as_secs_f64(),
+            grid.jobs_used,
+        ),
+        Err(e) => eprintln!("warning: could not write timing artifact: {e}"),
+    }
 }

@@ -30,18 +30,38 @@ pub struct EvalRow {
 }
 
 impl EvalRow {
-    /// Element-wise mean of several rows.
+    /// Element-wise mean of several rows, skipping NaN cells per metric.
+    ///
+    /// A NaN metric (e.g. a VUS that degenerated on an all-negative series)
+    /// previously poisoned the whole averaged row. Each metric now averages
+    /// only its finite values; a metric with *no* finite values stays NaN so
+    /// the degenerate case remains visible instead of being silently zeroed.
     pub fn mean(rows: &[EvalRow]) -> EvalRow {
         if rows.is_empty() {
             return EvalRow::default();
         }
-        let n = rows.len() as f64;
+        let mean_of = |field: fn(&EvalRow) -> f64| -> f64 {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for row in rows {
+                let v = field(row);
+                if !v.is_nan() {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                f64::NAN
+            } else {
+                sum / n as f64
+            }
+        };
         EvalRow {
-            precision: rows.iter().map(|r| r.precision).sum::<f64>() / n,
-            recall: rows.iter().map(|r| r.recall).sum::<f64>() / n,
-            auc: rows.iter().map(|r| r.auc).sum::<f64>() / n,
-            vus: rows.iter().map(|r| r.vus).sum::<f64>() / n,
-            nab: rows.iter().map(|r| r.nab).sum::<f64>() / n,
+            precision: mean_of(|r| r.precision),
+            recall: mean_of(|r| r.recall),
+            auc: mean_of(|r| r.auc),
+            vus: mean_of(|r| r.vus),
+            nab: mean_of(|r| r.nab),
         }
     }
 }
@@ -127,6 +147,33 @@ mod tests {
         assert!((0.0..=1.0).contains(&row.auc));
         assert!((0.0..=1.0).contains(&row.vus));
         assert!(row.nab.is_finite());
+    }
+
+    #[test]
+    fn mean_skips_nan_cells_per_metric() {
+        let rows = [
+            EvalRow { precision: 0.8, recall: 0.6, auc: 0.5, vus: f64::NAN, nab: 1.0 },
+            EvalRow { precision: 0.4, recall: 0.2, auc: 0.7, vus: 0.3, nab: 3.0 },
+        ];
+        let m = EvalRow::mean(&rows);
+        // NaN VUS in one row must not poison the other metrics…
+        assert!((m.precision - 0.6).abs() < 1e-12);
+        assert!((m.recall - 0.4).abs() < 1e-12);
+        assert!((m.auc - 0.6).abs() < 1e-12);
+        assert!((m.nab - 2.0).abs() < 1e-12);
+        // …and VUS averages only its finite values.
+        assert!((m.vus - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_with_all_nan_metric_stays_nan() {
+        let rows = [
+            EvalRow { vus: f64::NAN, ..EvalRow::default() },
+            EvalRow { vus: f64::NAN, ..EvalRow::default() },
+        ];
+        let m = EvalRow::mean(&rows);
+        assert!(m.vus.is_nan(), "fully-degenerate metric must stay visible");
+        assert_eq!(m.precision, 0.0);
     }
 
     #[test]

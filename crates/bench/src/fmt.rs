@@ -13,6 +13,12 @@ impl Table {
         Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
+    /// Creates a table from an owned header (for dynamically built headers —
+    /// avoids the `Box::leak`-per-cell pattern the harness once used).
+    pub fn with_header(header: Vec<String>) -> Self {
+        Self { header, rows: Vec::new() }
+    }
+
     /// Appends a row (must match the header width).
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");

@@ -1,0 +1,130 @@
+//! The shared (spec × corpus × scorer) evaluation grid behind Table III.
+//!
+//! [`run_grid`] flattens the full cross product into independent cells and
+//! executes them on a [`JobPool`]. Cell order is fixed (spec-major, then
+//! corpus, then scorer) and results come back in that order regardless of
+//! worker count, so table assembly downstream is purely positional — and
+//! parallel output is byte-identical to serial output.
+
+use crate::eval::{evaluate_spec, harness_params, EvalRow, HarnessScale};
+use crate::parallel::{JobPool, JobReport};
+use sad_core::{AlgorithmSpec, ScoreKind};
+use sad_data::Corpus;
+
+/// Flat result of one grid run.
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    /// One metric row per cell, in [`cell_index`] order.
+    pub rows: Vec<EvalRow>,
+    /// Human-readable label per cell (`spec @ corpus / scorer`), aligned
+    /// with `rows` — used for the timing artifact.
+    pub labels: Vec<String>,
+    /// Pool telemetry (per-cell wall times, total wall time, worker count).
+    pub report_times: Vec<std::time::Duration>,
+    /// End-to-end wall time of the grid run.
+    pub wall_time: std::time::Duration,
+    /// Worker threads used.
+    pub jobs_used: usize,
+}
+
+impl GridRun {
+    /// The row for `(spec_idx, corpus_idx, scorer_idx)`.
+    pub fn row(&self, spec_idx: usize, corpus_idx: usize, scorer_idx: usize, dims: GridDims) -> EvalRow {
+        self.rows[cell_index(spec_idx, corpus_idx, scorer_idx, dims)]
+    }
+
+    /// Sum of per-cell wall times (see `JobReport::cpu_time` for the
+    /// oversubscription caveat).
+    pub fn cpu_time(&self) -> std::time::Duration {
+        self.report_times.iter().sum()
+    }
+}
+
+/// Grid dimensions needed to map a cell triple to its flat index.
+#[derive(Debug, Clone, Copy)]
+pub struct GridDims {
+    /// Number of corpora.
+    pub corpora: usize,
+    /// Number of scorers.
+    pub scorers: usize,
+}
+
+/// Flat index of `(spec_idx, corpus_idx, scorer_idx)` — spec-major, then
+/// corpus, then scorer.
+#[inline]
+pub fn cell_index(spec_idx: usize, corpus_idx: usize, scorer_idx: usize, dims: GridDims) -> usize {
+    (spec_idx * dims.corpora + corpus_idx) * dims.scorers + scorer_idx
+}
+
+/// Evaluates every `(spec, corpus, scorer)` cell of the grid on `pool`.
+///
+/// Each cell is a pure function of its index: it derives its own
+/// [`harness_params`] and seeds its own detectors, so execution order
+/// cannot leak into the results.
+pub fn run_grid(
+    specs: &[AlgorithmSpec],
+    corpora: &[Corpus],
+    scorers: &[ScoreKind],
+    scale: HarnessScale,
+    pool: JobPool,
+) -> GridRun {
+    let dims = GridDims { corpora: corpora.len(), scorers: scorers.len() };
+    let n_cells = specs.len() * corpora.len() * scorers.len();
+
+    let JobReport { results, job_times, wall_time, jobs_used } = pool.run(n_cells, |cell| {
+        let scorer_idx = cell % dims.scorers;
+        let corpus_idx = (cell / dims.scorers) % dims.corpora;
+        let spec_idx = cell / (dims.scorers * dims.corpora);
+        let corpus = &corpora[corpus_idx];
+        let params = harness_params(corpus.series[0].channels(), scale);
+        evaluate_spec(specs[spec_idx], &params, corpus, scorers[scorer_idx])
+    });
+
+    let mut labels = Vec::with_capacity(n_cells);
+    for spec in specs {
+        for corpus in corpora {
+            for scorer in scorers {
+                labels.push(format!("{} @ {} / {}", spec.label(), corpus.name, scorer.label()));
+            }
+        }
+    }
+
+    GridRun { rows: results, labels, report_times: job_times, wall_time, jobs_used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_index_is_a_bijection() {
+        let dims = GridDims { corpora: 3, scorers: 5 };
+        let mut seen = [false; 4 * 3 * 5];
+        for s in 0..4 {
+            for c in 0..3 {
+                for k in 0..5 {
+                    let idx = cell_index(s, c, k, dims);
+                    assert!(!seen[idx], "duplicate index {idx}");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cell_index_inverts_the_pool_mapping() {
+        // The decomposition inside `run_grid` must invert `cell_index`.
+        let dims = GridDims { corpora: 3, scorers: 2 };
+        for spec_idx in 0..5 {
+            for corpus_idx in 0..3 {
+                for scorer_idx in 0..2 {
+                    let cell = cell_index(spec_idx, corpus_idx, scorer_idx, dims);
+                    assert_eq!(cell % dims.scorers, scorer_idx);
+                    assert_eq!((cell / dims.scorers) % dims.corpora, corpus_idx);
+                    assert_eq!(cell / (dims.scorers * dims.corpora), spec_idx);
+                }
+            }
+        }
+    }
+}

@@ -17,6 +17,12 @@
 
 pub mod eval;
 pub mod fmt;
+pub mod grid;
+pub mod parallel;
+pub mod timing;
 
 pub use eval::{evaluate_spec, harness_params, EvalRow, HarnessScale};
 pub use fmt::Table;
+pub use grid::{cell_index, run_grid, GridDims, GridRun};
+pub use parallel::{available_workers, HarnessArgs, JobPool, JobReport};
+pub use timing::TimingArtifact;

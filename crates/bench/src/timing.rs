@@ -1,0 +1,143 @@
+//! Machine-readable timing artifacts for the harness binaries.
+//!
+//! Each grid run can be serialized to a small JSON file (e.g.
+//! `bench_output/table3_timing.json`) holding total wall time, worker
+//! count, and per-cell times — a perf trajectory for future PRs to
+//! regress against. Written by hand with only `std` (the vendored serde
+//! stand-in has no data format).
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// Timing telemetry of one harness run.
+#[derive(Debug, Clone)]
+pub struct TimingArtifact {
+    /// Which artifact produced this (e.g. `"table3_results"`).
+    pub harness: String,
+    /// Profile name (`"quick"` / `"full"`).
+    pub profile: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall time.
+    pub wall_time: Duration,
+    /// Sum of per-cell wall times (serial-equivalent cost when the
+    /// workers were not oversubscribed; see `JobReport::cpu_time`).
+    pub cpu_time: Duration,
+    /// `(label, duration)` per grid cell.
+    pub cells: Vec<(String, Duration)>,
+}
+
+impl TimingArtifact {
+    /// Renders the artifact as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.cells.len() * 64);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"harness\": {},\n", json_string(&self.harness)));
+        out.push_str(&format!("  \"profile\": {},\n", json_string(&self.profile)));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"wall_seconds\": {:.6},\n", self.wall_time.as_secs_f64()));
+        out.push_str(&format!("  \"cpu_seconds\": {:.6},\n", self.cpu_time.as_secs_f64()));
+        // Observed concurrency (sum of per-cell wall times over total wall
+        // time). Equal to real speedup only when the workers had physical
+        // cores to themselves; under cgroup CPU limits the per-cell times
+        // are inflated by time-slicing, so this is an upper bound.
+        out.push_str(&format!(
+            "  \"concurrency\": {:.3},\n",
+            self.cpu_time.as_secs_f64() / self.wall_time.as_secs_f64().max(1e-12)
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, (label, took)) in self.cells.iter().enumerate() {
+            let comma = if i + 1 == self.cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"seconds\": {:.6}}}{comma}\n",
+                json_string(label),
+                took.as_secs_f64()
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON artifact to `path`, creating parent directories.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> TimingArtifact {
+        TimingArtifact {
+            harness: "table3_results".into(),
+            profile: "quick".into(),
+            jobs: 4,
+            wall_time: Duration::from_millis(500),
+            cpu_time: Duration::from_millis(1800),
+            cells: vec![
+                ("ARIMA @ daphnet-like / AL".into(), Duration::from_millis(900)),
+                ("AE \"quoted\"".into(), Duration::from_millis(900)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_has_expected_fields() {
+        let json = artifact().to_json();
+        for needle in [
+            "\"harness\": \"table3_results\"",
+            "\"profile\": \"quick\"",
+            "\"jobs\": 4",
+            "\"wall_seconds\": 0.500000",
+            "\"cpu_seconds\": 1.800000",
+            "\"concurrency\": 3.600",
+            "\"cells\": [",
+            "\"seconds\": 0.900000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = artifact().to_json();
+        assert!(json.contains("AE \\\"quoted\\\""));
+        assert_eq!(json_string("a\nb\\c"), "\"a\\nb\\\\c\"");
+    }
+
+    #[test]
+    fn write_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("sad_bench_timing_test");
+        let path = dir.join("t.json");
+        artifact().write(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with('{') && content.trim_end().ends_with('}'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -446,7 +446,9 @@ mod tests {
         let mut nb = NBeats::new(2, 16, 6, 2e-3, 11);
         let mut untrained = nb.clone();
         untrained.fit_initial(&train, 0);
-        nb.fit_initial(&train, 60);
+        // Enough epochs to halve the error from any reasonable Xavier init
+        // (the exact trajectory depends on the seeded RNG stream).
+        nb.fit_initial(&train, 120);
         let probe = &train[20];
         let err = |m: &mut NBeats| -> f64 {
             match m.predict(probe) {

@@ -291,7 +291,9 @@ mod tests {
         let mut usad = Usad::new(3, 2e-3, 5);
         let mut untrained = usad.clone();
         untrained.fit_initial(&train, 0);
-        usad.fit_initial(&train, 60);
+        // Enough epochs to reach a tight reconstruction from any reasonable
+        // Xavier init (the exact trajectory depends on the seeded RNG stream).
+        usad.fit_initial(&train, 200);
         let probe = &train[15];
         let before = nonconformity(probe, &untrained.predict(probe));
         let after = nonconformity(probe, &usad.predict(probe));

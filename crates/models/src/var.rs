@@ -18,8 +18,10 @@ use sad_tensor::{least_squares, Matrix};
 pub struct VarModel {
     p: usize,
     ridge: f64,
-    /// Stacked coefficients `[ν | A₁ | … | A_p]` as an `N × (1 + pN)`
-    /// matrix; `None` until the first fit.
+    /// Stacked coefficients `[ν | A₁ | … | A_p]^T` exactly as returned by
+    /// least squares — a `(1 + pN) × N` matrix; `None` until the first
+    /// fit. Stored untransposed: prediction uses [`Matrix::matvec_t`], so
+    /// the refit path never materializes a transpose.
     coeffs: Option<Matrix>,
 }
 
@@ -75,10 +77,10 @@ impl VarModel {
         let Some((a, b)) = self.design(train) else {
             return;
         };
-        // least_squares returns K × N; store transposed as N × K so
-        // prediction is a matvec.
+        // least_squares returns K × N; keep that layout and predict with
+        // `matvec_t` — the old path transposed to N × K on every refit.
         match least_squares(&a, &b, self.ridge.max(1e-10)) {
-            Ok(x) => self.coeffs = Some(x.transpose()),
+            Ok(x) => self.coeffs = Some(x),
             Err(_) => { /* singular even with ridge: keep previous fit */ }
         }
     }
@@ -103,7 +105,8 @@ impl StreamModel for VarModel {
         for lag in 1..=self.p {
             reg.extend_from_slice(x.step(t - lag));
         }
-        ModelOutput::Forecast(coeffs.matvec(&reg))
+        // coeffs is K × N (K = 1 + pN); `coeffs^T · reg` without transposing.
+        ModelOutput::Forecast(coeffs.matvec_t(&reg))
     }
 
     fn fit_initial(&mut self, train: &[FeatureVector], _epochs: usize) {

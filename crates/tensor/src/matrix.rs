@@ -156,15 +156,72 @@ impl Matrix {
         out
     }
 
+    /// Transposed-left product `self^T * rhs` without materializing the
+    /// transpose — the normal-equations kernel (`A^T A`, `A^T B`).
+    ///
+    /// Accumulates one rank-1 row sweep per shared row `i`: the innermost
+    /// loop walks `rhs` and the output contiguously, matching the cache
+    /// behaviour of the i-k-j [`Matrix::matmul`] while skipping the
+    /// `O(rows·cols)` transpose allocation + strided copy entirely.
+    ///
+    /// # Panics
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_transpose_a shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let rrow = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed-right product `self * rhs^T` without materializing the
+    /// transpose.
+    ///
+    /// Every output element is a dot product of two *contiguous* rows, so
+    /// the kernel never strides: `out[i][j] = self.row(i) · rhs.row(j)`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let rrow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                *o = dot4(arow, rrow);
+            }
+        }
+        out
+    }
+
     /// Matrix-vector product `self * v`.
     ///
     /// # Panics
     /// Panics if `v.len() != self.cols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| dot4(self.row(i), v)).collect()
     }
 
     /// Transposed matrix-vector product `self^T * v` without materializing
@@ -250,6 +307,33 @@ impl Matrix {
     }
 }
 
+/// Dot product with four independent accumulators.
+///
+/// A single-accumulator dot product serializes every FP add behind the
+/// previous one; splitting the reduction into four interleaved lanes lets
+/// the CPU overlap the adds (and auto-vectorize), which is what makes the
+/// transpose-free [`Matrix::matmul_transpose_b`] competitive with a
+/// transpose-then-ikj baseline.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    let (a_head, a_tail) = a.split_at(chunks * 4);
+    let (b_head, b_tail) = b.split_at(chunks * 4);
+    for (ca, cb) in a_head.chunks_exact(4).zip(b_head.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        sum += x * y;
+    }
+    sum
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
@@ -308,6 +392,32 @@ mod tests {
         let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
         assert_eq!(a.matmul(&Matrix::identity(3)), a);
         assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_transpose_a_equals_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 - 5.0);
+        let b = Matrix::from_fn(4, 2, |i, j| (i as f64) * 0.5 - (j as f64));
+        assert_eq!(a.matmul_transpose_a(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_transpose_b_equals_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i + 2 * j) as f64 * 0.25);
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f64) - (j as f64) * 1.5);
+        assert_eq!(a.matmul_transpose_b(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transpose_a shape mismatch")]
+    fn matmul_transpose_a_shape_mismatch_panics() {
+        let _ = Matrix::zeros(2, 3).matmul_transpose_a(&Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transpose_b shape mismatch")]
+    fn matmul_transpose_b_shape_mismatch_panics() {
+        let _ = Matrix::zeros(2, 3).matmul_transpose_b(&Matrix::zeros(3, 2));
     }
 
     #[test]
@@ -438,6 +548,23 @@ mod tests {
                 for (l, (p, q)) in lhs.iter().zip(ax.iter().zip(&ay)) {
                     prop_assert!((l - (p + q)).abs() < 1e-8);
                 }
+            }
+
+            /// A^T·B via the rank-1 row-sweep kernel equals the
+            /// transpose-then-multiply reference on random matrices.
+            #[test]
+            fn matmul_transpose_a_matches_reference(a in matrix(5, 3), b in matrix(5, 4)) {
+                let fast = a.matmul_transpose_a(&b);
+                let reference = a.transpose().matmul(&b);
+                prop_assert!(close(&fast, &reference, 1e-9));
+            }
+
+            /// A·B^T via the row-dot kernel equals the reference.
+            #[test]
+            fn matmul_transpose_b_matches_reference(a in matrix(3, 5), b in matrix(4, 5)) {
+                let fast = a.matmul_transpose_b(&b);
+                let reference = a.matmul(&b.transpose());
+                prop_assert!(close(&fast, &reference, 1e-9));
             }
 
             /// add/sub round-trips to the original matrix.

@@ -57,32 +57,48 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
             swap_rows(&mut x, k, pivot_row);
         }
         let pivot = lu[(k, k)];
-        for i in k + 1..n {
-            let factor = lu[(i, k)] / pivot;
+        // Row-sweep elimination: split the storage below the pivot row so
+        // row k can be read while rows k+1.. are updated — every inner loop
+        // walks contiguous slices instead of striding column k with `(i, j)`
+        // index arithmetic.
+        let (lu_top, lu_below) = lu.as_mut_slice().split_at_mut((k + 1) * n);
+        let lu_pivot_tail = &lu_top[k * n + k + 1..(k + 1) * n];
+        let (x_top, x_below) = x.as_mut_slice().split_at_mut((k + 1) * m);
+        let x_pivot_row = &x_top[k * m..(k + 1) * m];
+        for (lu_row, x_row) in lu_below.chunks_exact_mut(n).zip(x_below.chunks_exact_mut(m)) {
+            let factor = lu_row[k] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            lu[(i, k)] = 0.0;
-            for j in k + 1..n {
-                let v = lu[(k, j)];
-                lu[(i, j)] -= factor * v;
+            lu_row[k] = 0.0;
+            for (v, &p) in lu_row[k + 1..].iter_mut().zip(lu_pivot_tail) {
+                *v -= factor * p;
             }
-            for j in 0..m {
-                let v = x[(k, j)];
-                x[(i, j)] -= factor * v;
+            for (v, &p) in x_row.iter_mut().zip(x_pivot_row) {
+                *v -= factor * p;
             }
         }
     }
 
-    // Back substitution.
+    // Back substitution, also as row sweeps: subtract each already-solved
+    // row i > k from row k (both contiguous in `x`), then divide by the
+    // pivot — instead of walking x's column j with stride `m` per cell.
     for k in (0..n).rev() {
         let pivot = lu[(k, k)];
-        for j in 0..m {
-            let mut acc = x[(k, j)];
-            for i in k + 1..n {
-                acc -= lu[(k, i)] * x[(i, j)];
+        let lu_row_k = lu.row(k);
+        let (x_head, x_tail) = x.as_mut_slice().split_at_mut((k + 1) * m);
+        let x_row_k = &mut x_head[k * m..];
+        for (i, x_row_i) in x_tail.chunks_exact(m).enumerate() {
+            let c = lu_row_k[k + 1 + i];
+            if c == 0.0 {
+                continue;
             }
-            x[(k, j)] = acc / pivot;
+            for (v, &p) in x_row_k.iter_mut().zip(x_row_i) {
+                *v -= c * p;
+            }
+        }
+        for v in x_row_k.iter_mut() {
+            *v /= pivot;
         }
     }
     Ok(x)
@@ -103,14 +119,16 @@ pub fn least_squares(a: &Matrix, b: &Matrix, ridge: f64) -> Result<Matrix, Solve
     if a.rows() != b.rows() {
         return Err(SolveError::ShapeMismatch);
     }
-    let at = a.transpose();
-    let mut ata = at.matmul(a);
+    // `A^T A` and `A^T B` via the rank-1 row-sweep kernel: no transpose is
+    // ever materialized (the old path allocated and strided-copied `A^T`,
+    // the dominant cost for the tall-skinny windows VAR refits on).
+    let mut ata = a.matmul_transpose_a(a);
     if ridge > 0.0 {
         for i in 0..ata.rows() {
             ata[(i, i)] += ridge;
         }
     }
-    let atb = at.matmul(b);
+    let atb = a.matmul_transpose_a(b);
     solve(&ata, &atb)
 }
 

@@ -1,0 +1,512 @@
+//! Offline stand-in for the `rand` crate (API subset, `std`-only).
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the small slice of the `rand 0.9`
+//! API it actually uses (wired up as path dependencies in the root
+//! `Cargo.toml`'s `[workspace.dependencies]` table):
+//!
+//! * [`RngCore`] / [`Rng`] with `random_range`, `random_bool`, `random`
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed`
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator seeded via SplitMix64
+//! * [`seq::index::sample`] — distinct-index sampling (partial Fisher–Yates)
+//!
+//! The stream of values differs from upstream `rand` (upstream `StdRng` is
+//! ChaCha12); everything in this workspace only relies on *seeded
+//! determinism*, never on the exact upstream stream. Statistical quality of
+//! xoshiro256++ is more than adequate for synthetic-corpus generation and
+//! model initialization.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing generator extension trait (the `rand 0.9` method names).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        assert!(!range.is_empty(), "cannot sample from an empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        distr::unit_f64(self) < p
+    }
+
+    /// Samples a value from the standard distribution of `T`.
+    fn random<T>(&mut self) -> T
+    where
+        T: distr::StandardSample,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generator construction.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` by expanding it with SplitMix64
+    /// (the conventional seeding recipe for xoshiro-family generators).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// Not the upstream ChaCha12 stream — see the crate docs. 2^256 − 1
+    /// period, passes BigCrush, 4 words of state.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is the one fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Uniform-range sampling machinery (subset of `rand::distr`).
+pub mod distr {
+    use super::{Range, RangeInclusive, Rng};
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub(crate) fn unit_f64<R: Rng>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Ranges a value of type `T` can be uniformly sampled from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample. The caller guarantees non-emptiness.
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+        /// `true` if the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        #[inline]
+        fn sample_single<R: Rng>(self, rng: &mut R) -> f64 {
+            let v = self.start + (self.end - self.start) * unit_f64(rng);
+            // Floating rounding can land exactly on `end`; clamp into range.
+            if v >= self.end {
+                self.end - (self.end - self.start) * f64::EPSILON
+            } else {
+                v
+            }
+        }
+        #[inline]
+        fn is_empty(&self) -> bool {
+            !matches!(self.start.partial_cmp(&self.end), Some(std::cmp::Ordering::Less))
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        #[inline]
+        fn sample_single<R: Rng>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (hi - lo) * ((rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64))
+        }
+        #[inline]
+        fn is_empty(&self) -> bool {
+            !matches!(
+                self.start().partial_cmp(self.end()),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+        }
+    }
+
+    impl SampleRange<f32> for RangeInclusive<f32> {
+        #[inline]
+        fn sample_single<R: Rng>(self, rng: &mut R) -> f32 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (hi - lo)
+                * ((rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)) as f32
+        }
+        #[inline]
+        fn is_empty(&self) -> bool {
+            !matches!(
+                self.start().partial_cmp(self.end()),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        #[inline]
+        fn sample_single<R: Rng>(self, rng: &mut R) -> f32 {
+            let v = self.start + (self.end - self.start) * (unit_f64(rng) as f32);
+            if v >= self.end {
+                self.end - (self.end - self.start) * f32::EPSILON
+            } else {
+                v
+            }
+        }
+        #[inline]
+        fn is_empty(&self) -> bool {
+            !matches!(self.start.partial_cmp(&self.end), Some(std::cmp::Ordering::Less))
+        }
+    }
+
+    /// Unbiased uniform integer in `[0, span)` via Lemire-style rejection.
+    #[inline]
+    pub(crate) fn uniform_u64_below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Rejection zone keeps the multiply-shift method exactly uniform.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let v = rng.next_u64();
+            let (hi, lo) = {
+                let wide = (v as u128) * (span as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone {
+                return hi;
+            }
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty => $u:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                    let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                    self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    !matches!(self.start.partial_cmp(&self.end), Some(std::cmp::Ordering::Less))
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+                }
+                #[inline]
+                fn is_empty(&self) -> bool {
+                    !matches!(
+                self.start().partial_cmp(self.end()),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(
+        usize => usize,
+        u64 => u64,
+        u32 => u32,
+        u16 => u16,
+        u8 => u8,
+        isize => usize,
+        i64 => u64,
+        i32 => u32,
+        i16 => u16,
+        i8 => u8,
+    );
+
+    /// Types samplable from their "standard" distribution
+    /// (`Rng::random`).
+    pub trait StandardSample {
+        /// Draws one standard sample.
+        fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        #[inline]
+        fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    impl StandardSample for f32 {
+        #[inline]
+        fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+            unit_f64(rng) as f32
+        }
+    }
+
+    impl StandardSample for bool {
+        #[inline]
+        fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardSample for u64 {
+        #[inline]
+        fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for u32 {
+        #[inline]
+        fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    /// Index sampling (subset of `rand::seq::index`).
+    pub mod index {
+        use crate::distr::uniform_u64_below;
+        use crate::Rng;
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Consumes into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// `true` if no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` uniformly at
+        /// random, in random order (partial Fisher–Yates shuffle).
+        ///
+        /// # Panics
+        /// Panics if `amount > length`.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} indices from {length}");
+            let mut pool: Vec<usize> = (0..length).collect();
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = i + uniform_u64_below(&mut &mut *rng, (length - i) as u64) as usize;
+                pool.swap(i, j);
+                out.push(pool[i]);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+pub use distr::SampleRange;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::index::sample;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&v), "{v}");
+        }
+        for _ in 0..10_000 {
+            let v = rng.random_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: usize = rng.random_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 appear");
+        for _ in 0..1_000 {
+            let v: usize = rng.random_range(3..=5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_interval_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn sample_returns_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let idx = sample(&mut rng, 20, 12);
+            let mut v = idx.into_vec();
+            assert_eq!(v.len(), 12);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), 12, "indices are distinct");
+        }
+    }
+
+    #[test]
+    fn random_bool_probability_is_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02, "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: usize = rng.random_range(5..5);
+    }
+}

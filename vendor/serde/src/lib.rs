@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (see `vendor/serde_derive`).
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives and declares the
+//! marker traits so downstream bounds keep compiling. No data format is
+//! wired up; the workspace writes its machine-readable outputs (e.g.
+//! `bench_output/table3_timing.json`) by hand.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait DeserializeMarker<'de> {}
