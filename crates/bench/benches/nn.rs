@@ -1,0 +1,101 @@
+//! Micro-benches of the `sad-nn` training substrate: the legacy per-sample
+//! path (forward cache + flat optimizer round-trip, kept as a compat API)
+//! against the batched, workspace-backed zero-allocation path at several
+//! minibatch sizes.
+//!
+//! The `batch=1` row quantifies what killing the per-step allocations is
+//! worth on its own (identical arithmetic, identical trajectory); larger
+//! batches add the GEMM-shaped weight-gradient kernels on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sad_nn::{Activation, Mlp};
+use sad_tensor::Adam;
+use std::hint::black_box;
+
+/// Harness-shaped AE dimensions (Table III quick profile: w=20, N=9 →
+/// dim 180, hidden 45).
+const DIM: usize = 180;
+const HIDDEN: usize = 45;
+const SAMPLES: usize = 40;
+
+fn net() -> Mlp {
+    let mut rng = StdRng::seed_from_u64(9);
+    Mlp::new(&[DIM, HIDDEN, DIM], &[Activation::Sigmoid, Activation::Identity], &mut rng)
+}
+
+fn data() -> Vec<Vec<f64>> {
+    (0..SAMPLES)
+        .map(|k| (0..DIM).map(|i| (((k * 61 + i) as f64) * 0.23).sin()).collect())
+        .collect()
+}
+
+fn bench_training_paths(c: &mut Criterion) {
+    let train = data();
+
+    let mut group = c.benchmark_group("nn_train_epoch");
+    group.sample_size(20);
+
+    // Legacy per-sample path: heap-allocated caches, flat-gradient Vec and
+    // params_flat round-trip per step.
+    group.bench_function("per_sample_compat", |b| {
+        let mut net = net();
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| {
+            for x in &train {
+                net.train_step_mse(black_box(x), x, &mut opt);
+            }
+        });
+    });
+
+    // Batched workspace path. batch=1 is the drop-in replacement the
+    // models default to (bitwise-identical trajectory, zero allocations).
+    for batch in [1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("workspace", batch), &batch, |b, &batch| {
+            let mut net = net();
+            let mut ws = net.workspace(batch);
+            let mut grads = net.zero_grads();
+            let mut opt = Adam::new(1e-3);
+            b.iter(|| {
+                for chunk in train.chunks(batch) {
+                    ws.set_batch(chunk.len());
+                    for (i, x) in chunk.iter().enumerate() {
+                        ws.input_row_mut(i).copy_from_slice(black_box(x));
+                    }
+                    net.train_batch_mse_identity(&mut ws, &mut grads, &mut opt);
+                }
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("nn_forward");
+    group.sample_size(30);
+    group.bench_function("infer_per_sample", |b| {
+        let net = net();
+        b.iter(|| {
+            for x in &train {
+                black_box(net.infer(black_box(x)));
+            }
+        });
+    });
+    group.bench_function("forward_batch_8", |b| {
+        let net = net();
+        let mut ws = net.workspace(8);
+        b.iter(|| {
+            for chunk in train.chunks(8) {
+                ws.set_batch(chunk.len());
+                for (i, x) in chunk.iter().enumerate() {
+                    ws.input_row_mut(i).copy_from_slice(black_box(x));
+                }
+                net.forward_batch(&mut ws);
+                black_box(ws.output());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_paths);
+criterion_main!(benches);

@@ -26,7 +26,8 @@
 //! (minutes on a multi-core machine instead of the previous ~hour serial).
 
 use sad_bench::{
-    cell_index, run_grid, EvalRow, GridDims, HarnessArgs, HarnessScale, Table, TimingArtifact,
+    cell_index, run_grid, CellTiming, EvalRow, GridDims, HarnessArgs, HarnessScale, Table,
+    TimingArtifact,
 };
 use sad_core::{paper_algorithms, ScoreKind};
 use sad_data::{daphnet_like, exathlon_like, smd_like, Corpus, CorpusParams};
@@ -129,8 +130,13 @@ fn main() {
         cells: grid
             .labels
             .iter()
-            .cloned()
-            .zip(grid.report_times.iter().copied())
+            .zip(&grid.report_times)
+            .zip(&grid.rows)
+            .map(|((label, &wall), row)| CellTiming {
+                label: label.clone(),
+                wall,
+                train_seconds: row.train_seconds,
+            })
             .collect(),
     };
     match artifact.write("bench_output/table3_timing.json") {

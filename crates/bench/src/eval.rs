@@ -27,6 +27,12 @@ pub struct EvalRow {
     pub vus: f64,
     /// Point-wise NAB score.
     pub nab: f64,
+    /// Wall time (seconds) the detectors spent in model training (initial
+    /// fit + drift-triggered fine-tunes), summed over the corpus's series.
+    /// Telemetry, not a metric: excluded from the table output and from
+    /// the bitwise-determinism guarantees, surfaced per cell in the
+    /// timing artifact.
+    pub train_seconds: f64,
 }
 
 impl EvalRow {
@@ -62,6 +68,8 @@ impl EvalRow {
             auc: mean_of(|r| r.auc),
             vus: mean_of(|r| r.vus),
             nab: mean_of(|r| r.nab),
+            // Wall time is a cost, not a quality metric: totals add up.
+            train_seconds: rows.iter().map(|r| r.train_seconds).sum(),
         }
     }
 }
@@ -121,7 +129,14 @@ pub fn evaluate_spec(
             // best-F1 treatment of precision/recall (the paper does not
             // state its thresholding rule).
             let (_nab_th, report) = best_nab(&scores, labels, n_thresholds);
-            EvalRow { precision, recall, auc, vus, nab: report.score }
+            EvalRow {
+                precision,
+                recall,
+                auc,
+                vus,
+                nab: report.score,
+                train_seconds: detector.train_time().as_secs_f64(),
+            }
         })
         .collect();
     EvalRow::mean(&rows)
@@ -152,8 +167,8 @@ mod tests {
     #[test]
     fn mean_skips_nan_cells_per_metric() {
         let rows = [
-            EvalRow { precision: 0.8, recall: 0.6, auc: 0.5, vus: f64::NAN, nab: 1.0 },
-            EvalRow { precision: 0.4, recall: 0.2, auc: 0.7, vus: 0.3, nab: 3.0 },
+            EvalRow { precision: 0.8, recall: 0.6, auc: 0.5, vus: f64::NAN, nab: 1.0, ..EvalRow::default() },
+            EvalRow { precision: 0.4, recall: 0.2, auc: 0.7, vus: 0.3, nab: 3.0, ..EvalRow::default() },
         ];
         let m = EvalRow::mean(&rows);
         // NaN VUS in one row must not poison the other metrics…
@@ -179,8 +194,8 @@ mod tests {
     #[test]
     fn mean_of_rows() {
         let rows = [
-            EvalRow { precision: 1.0, recall: 0.0, auc: 0.5, vus: 0.2, nab: -2.0 },
-            EvalRow { precision: 0.0, recall: 1.0, auc: 0.5, vus: 0.4, nab: 4.0 },
+            EvalRow { precision: 1.0, recall: 0.0, auc: 0.5, vus: 0.2, nab: -2.0, train_seconds: 0.5 },
+            EvalRow { precision: 0.0, recall: 1.0, auc: 0.5, vus: 0.4, nab: 4.0, train_seconds: 0.25 },
         ];
         let m = EvalRow::mean(&rows);
         assert_eq!(m.precision, 0.5);
@@ -188,5 +203,7 @@ mod tests {
         assert_eq!(m.auc, 0.5);
         assert!((m.vus - 0.3).abs() < 1e-12);
         assert_eq!(m.nab, 1.0);
+        // Train time is a cost: it sums instead of averaging.
+        assert!((m.train_seconds - 0.75).abs() < 1e-12);
     }
 }

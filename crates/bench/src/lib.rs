@@ -25,4 +25,4 @@ pub use eval::{evaluate_spec, harness_params, EvalRow, HarnessScale};
 pub use fmt::Table;
 pub use grid::{cell_index, run_grid, GridDims, GridRun};
 pub use parallel::{available_workers, HarnessArgs, JobPool, JobReport};
-pub use timing::TimingArtifact;
+pub use timing::{CellTiming, TimingArtifact};

@@ -24,8 +24,21 @@ pub struct TimingArtifact {
     /// Sum of per-cell wall times (serial-equivalent cost when the
     /// workers were not oversubscribed; see `JobReport::cpu_time`).
     pub cpu_time: Duration,
-    /// `(label, duration)` per grid cell.
-    pub cells: Vec<(String, Duration)>,
+    /// Per-cell timing breakdown.
+    pub cells: Vec<CellTiming>,
+}
+
+/// Timing of one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// Cell label (`spec @ corpus / scorer`).
+    pub label: String,
+    /// End-to-end cell wall time.
+    pub wall: Duration,
+    /// Seconds the cell's detectors spent in model training (initial fit
+    /// plus drift-triggered fine-tunes, summed over the corpus's series) —
+    /// the share of `wall` governed by the batched NN training path.
+    pub train_seconds: f64,
 }
 
 impl TimingArtifact {
@@ -46,13 +59,20 @@ impl TimingArtifact {
             "  \"concurrency\": {:.3},\n",
             self.cpu_time.as_secs_f64() / self.wall_time.as_secs_f64().max(1e-12)
         ));
+        // Total model-training share across all cells (the hot loop the
+        // batched NN path optimizes).
+        out.push_str(&format!(
+            "  \"train_seconds_total\": {:.6},\n",
+            self.cells.iter().map(|c| c.train_seconds).sum::<f64>()
+        ));
         out.push_str("  \"cells\": [\n");
-        for (i, (label, took)) in self.cells.iter().enumerate() {
+        for (i, cell) in self.cells.iter().enumerate() {
             let comma = if i + 1 == self.cells.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"label\": {}, \"seconds\": {:.6}}}{comma}\n",
-                json_string(label),
-                took.as_secs_f64()
+                "    {{\"label\": {}, \"seconds\": {:.6}, \"train_seconds\": {:.6}}}{comma}\n",
+                json_string(&cell.label),
+                cell.wall.as_secs_f64(),
+                cell.train_seconds,
             ));
         }
         out.push_str("  ]\n}\n");
@@ -101,8 +121,16 @@ mod tests {
             wall_time: Duration::from_millis(500),
             cpu_time: Duration::from_millis(1800),
             cells: vec![
-                ("ARIMA @ daphnet-like / AL".into(), Duration::from_millis(900)),
-                ("AE \"quoted\"".into(), Duration::from_millis(900)),
+                CellTiming {
+                    label: "ARIMA @ daphnet-like / AL".into(),
+                    wall: Duration::from_millis(900),
+                    train_seconds: 0.25,
+                },
+                CellTiming {
+                    label: "AE \"quoted\"".into(),
+                    wall: Duration::from_millis(900),
+                    train_seconds: 0.5,
+                },
             ],
         }
     }
@@ -119,6 +147,8 @@ mod tests {
             "\"concurrency\": 3.600",
             "\"cells\": [",
             "\"seconds\": 0.900000",
+            "\"train_seconds\": 0.250000",
+            "\"train_seconds_total\": 0.750000",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -77,6 +77,9 @@ pub struct Detector {
     warmed_up: bool,
     drift_times: Vec<usize>,
     fine_tunes: usize,
+    /// Cumulative wall time spent inside the model's training entry points
+    /// (`fit_initial` at warm-up plus every drift-triggered `fine_tune`).
+    train_time: std::time::Duration,
 }
 
 impl Detector {
@@ -107,6 +110,7 @@ impl Detector {
             warmed_up: false,
             drift_times: Vec::new(),
             fine_tunes: 0,
+            train_time: std::time::Duration::ZERO,
         }
     }
 
@@ -129,7 +133,9 @@ impl Detector {
                 let _ = self.drift.observe(x, &update, self.strategy.training_set());
             }
             if self.t >= self.config.warmup {
+                let started = std::time::Instant::now();
                 self.model.fit_initial(self.strategy.training_set(), self.config.initial_epochs);
+                self.train_time += started.elapsed();
                 self.drift.on_fine_tune(self.strategy.training_set());
                 self.warmed_up = true;
             }
@@ -145,9 +151,11 @@ impl Detector {
         let mut fine_tuned = false;
         if drift {
             self.drift_times.push(t);
+            let started = std::time::Instant::now();
             for _ in 0..self.config.fine_tune_epochs {
                 self.model.fine_tune(self.strategy.training_set());
             }
+            self.train_time += started.elapsed();
             // Re-anchor the drift reference even when the model is frozen
             // (fine_tune_epochs = 0), so a frozen fork doesn't fire every
             // step after the first drift.
@@ -195,6 +203,14 @@ impl Detector {
     /// frozen.
     pub fn fine_tune_count(&self) -> usize {
         self.fine_tunes
+    }
+
+    /// Cumulative wall time spent training the model (initial fit plus all
+    /// fine-tune sessions). This is the hot loop the batched NN path
+    /// optimizes; the bench harness surfaces it per grid cell in the
+    /// timing artifact.
+    pub fn train_time(&self) -> std::time::Duration {
+        self.train_time
     }
 
     /// Whether warm-up has completed.

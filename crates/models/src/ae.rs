@@ -8,16 +8,26 @@ use crate::scaler::Standardizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sad_core::{FeatureVector, ModelOutput, StreamModel};
-use sad_nn::{Activation, Mlp};
+use sad_nn::{Activation, Mlp, MlpGrads, MlpWorkspace};
 use sad_tensor::Adam;
 
 /// Two-layer autoencoder over the flattened feature vector.
+///
+/// Training runs through the batched, workspace-backed `sad-nn` path: the
+/// fine-tune loop packs `batch_size` windows into a row-major matrix and
+/// performs zero heap allocations in steady state. The default
+/// `batch_size = 1` reproduces the original per-sample SGD trajectory bit
+/// for bit (one Adam step per window).
 #[derive(Clone)]
 pub struct TwoLayerAe {
     net: Option<Mlp>,
     scaler: Option<Standardizer>,
     opt: Adam,
+    /// Reusable batched-training buffers (created with the net).
+    ws: Option<MlpWorkspace>,
+    grads: Option<MlpGrads>,
     hidden: usize,
+    batch_size: usize,
     seed: u64,
 }
 
@@ -25,12 +35,31 @@ impl TwoLayerAe {
     /// Creates an AE with `hidden` units and Adam learning rate `lr`.
     pub fn new(hidden: usize, lr: f64, seed: u64) -> Self {
         assert!(hidden > 0, "hidden width must be positive");
-        Self { net: None, scaler: None, opt: Adam::new(lr), hidden, seed }
+        Self {
+            net: None,
+            scaler: None,
+            opt: Adam::new(lr),
+            ws: None,
+            grads: None,
+            hidden,
+            batch_size: 1,
+            seed,
+        }
     }
 
     /// A reasonable default: hidden = dim/4 clamped to [4, 64], lr 1e-3.
     pub fn for_dim(dim: usize, seed: u64) -> Self {
         Self::new((dim / 4).clamp(4, 64), 1e-3, seed)
+    }
+
+    /// Sets the training minibatch size (default 1 = per-sample updates,
+    /// matching the original trajectory; larger batches take one
+    /// mean-gradient Adam step per chunk).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self.ws = None; // resized lazily on next training call
+        self
     }
 
     fn ensure_net(&mut self, dim: usize) {
@@ -42,6 +71,11 @@ impl TwoLayerAe {
                 &mut rng,
             ));
         }
+        if self.ws.is_none() {
+            let net = self.net.as_ref().expect("just initialized");
+            self.ws = Some(net.workspace(self.batch_size));
+            self.grads = Some(net.zero_grads());
+        }
     }
 
     fn scaled(&self, x: &FeatureVector) -> Vec<f64> {
@@ -51,16 +85,25 @@ impl TwoLayerAe {
         }
     }
 
-    /// One training epoch over `train`.
+    /// One training epoch over `train`, batched. Zero heap allocations in
+    /// steady state (workspace and gradient buffers are reused).
     fn epoch(&mut self, train: &[FeatureVector]) {
         if train.is_empty() {
             return;
         }
-        let inputs: Vec<Vec<f64>> = train.iter().map(|x| self.scaled(x)).collect();
         self.ensure_net(train[0].dim());
         let net = self.net.as_mut().expect("just initialized");
-        for z in &inputs {
-            net.train_step_mse(z, z, &mut self.opt);
+        let ws = self.ws.as_mut().expect("just initialized");
+        let grads = self.grads.as_mut().expect("just initialized");
+        for chunk in train.chunks(self.batch_size) {
+            ws.set_batch(chunk.len());
+            for (b, x) in chunk.iter().enumerate() {
+                match &self.scaler {
+                    Some(s) => s.transform_into(x.as_slice(), ws.input_row_mut(b)),
+                    None => ws.input_row_mut(b).copy_from_slice(x.as_slice()),
+                }
+            }
+            net.train_batch_mse_identity(ws, grads, &mut self.opt);
         }
     }
 }

@@ -69,6 +69,17 @@ impl Standardizer {
         x.iter().zip(&self.mean).zip(&self.std).map(|((&v, &m), &s)| (v - m) / s).collect()
     }
 
+    /// Allocation-free [`Self::transform`]: writes the standardized vector
+    /// into `out` (the batched training path fills workspace rows with
+    /// this).
+    pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.mean.len(), "standardizer dimension mismatch");
+        assert_eq!(out.len(), x.len(), "standardizer output length mismatch");
+        for (o, ((&v, &m), &s)) in out.iter_mut().zip(x.iter().zip(&self.mean).zip(&self.std)) {
+            *o = (v - m) / s;
+        }
+    }
+
     /// Maps a standardized vector back to raw units.
     pub fn inverse(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.mean.len(), "standardizer dimension mismatch");
@@ -144,6 +155,16 @@ impl MinMaxScaler {
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.min.len(), "scaler dimension mismatch");
         x.iter().zip(&self.min).zip(&self.range).map(|((&v, &m), &r)| (v - m) / r).collect()
+    }
+
+    /// Allocation-free [`Self::transform`]: writes the scaled vector into
+    /// `out`.
+    pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.min.len(), "scaler dimension mismatch");
+        assert_eq!(out.len(), x.len(), "scaler output length mismatch");
+        for (o, ((&v, &m), &r)) in out.iter_mut().zip(x.iter().zip(&self.min).zip(&self.range)) {
+            *o = (v - m) / r;
+        }
     }
 
     /// Maps a `[0, 1]` vector back to raw units.
@@ -249,5 +270,20 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_fit_panics() {
         let _ = Standardizer::fit(&[]);
+    }
+
+    #[test]
+    fn transform_into_matches_transform_bitwise() {
+        let train = vec![fv(&[1.0, -4.0, 0.5]), fv(&[3.0, 2.0, 9.5]), fv(&[0.0, 1.0, 4.0])];
+        let x = [2.2, -0.7, 6.1];
+        let mut out = [0.0; 3];
+        let s = Standardizer::fit(&train);
+        s.transform_into(&x, &mut out);
+        assert_eq!(out.map(f64::to_bits).to_vec(),
+            s.transform(&x).iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        let mm = MinMaxScaler::fit(&train);
+        mm.transform_into(&x, &mut out);
+        assert_eq!(out.map(f64::to_bits).to_vec(),
+            mm.transform(&x).iter().map(|v| v.to_bits()).collect::<Vec<_>>());
     }
 }

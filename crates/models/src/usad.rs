@@ -27,8 +27,36 @@ use crate::scaler::MinMaxScaler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sad_core::{FeatureVector, ModelOutput, StreamModel};
-use sad_nn::{mse_grad, Activation, Mlp};
-use sad_tensor::Adam;
+use sad_nn::{Activation, Mlp, MlpGrads, MlpWorkspace};
+use sad_tensor::{Adam, Matrix};
+
+/// Reusable batched-training buffers for the five forward instances of the
+/// adversarial step (`E(x)`, `D₁(z)`, `E(r₁)`, `D₂(z₂)`, `D₂(z)`) plus the
+/// gradient accumulators. Sized once; the steady-state fine-tune loop does
+/// not allocate.
+#[derive(Clone)]
+struct UsadBuffers {
+    /// `E(x)` — its input rows hold the scaled minibatch `z_in`.
+    ws_e: MlpWorkspace,
+    /// `D₁(z)` → `r₁`.
+    ws_d1: MlpWorkspace,
+    /// `E(r₁)` → `z₂` (the re-encoding; a second workspace on the shared
+    /// encoder, because both forward instances' activations are needed by
+    /// the chained backward pass).
+    ws_e2: MlpWorkspace,
+    /// `D₂(z₂)` → `R_both`.
+    ws_d2b: MlpWorkspace,
+    /// `D₂(z)` → `r₂` (phase 2 only).
+    ws_d2r: MlpWorkspace,
+    g_e: MlpGrads,
+    g_d1: MlpGrads,
+    g_d2: MlpGrads,
+    /// D₁ is frozen in phase 2: its gradients are computed (the chain needs
+    /// `∂L/∂z` through it) but discarded.
+    g_d1_discard: MlpGrads,
+    /// D₂ is frozen in phase 1.
+    g_d2_discard: MlpGrads,
+}
 
 /// The USAD adversarial autoencoder.
 #[derive(Clone)]
@@ -37,12 +65,14 @@ pub struct Usad {
     dec1: Option<Mlp>,
     dec2: Option<Mlp>,
     scaler: Option<MinMaxScaler>,
+    bufs: Option<UsadBuffers>,
     opt_e1: Adam,
     opt_d1: Adam,
     opt_e2: Adam,
     opt_d2: Adam,
     latent: usize,
     lr: f64,
+    batch_size: usize,
     seed: u64,
     /// Training epoch counter `n` (1-based, as in the loss definition).
     epoch: usize,
@@ -57,12 +87,14 @@ impl Usad {
             dec1: None,
             dec2: None,
             scaler: None,
+            bufs: None,
             opt_e1: Adam::new(lr),
             opt_d1: Adam::new(lr),
             opt_e2: Adam::new(lr),
             opt_d2: Adam::new(lr),
             latent,
             lr,
+            batch_size: 1,
             seed,
             epoch: 0,
         }
@@ -73,6 +105,17 @@ impl Usad {
         Self::new((dim / 8).clamp(2, 16), 1e-3, seed)
     }
 
+    /// Sets the training minibatch size (default 1 = per-sample updates,
+    /// matching the original trajectory; larger batches take one
+    /// mean-gradient adversarial step per chunk, USAD's own minibatch
+    /// formulation).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self.bufs = None; // resized lazily on next training call
+        self
+    }
+
     /// Current epoch counter `n`.
     pub fn epoch(&self) -> usize {
         self.epoch
@@ -80,6 +123,7 @@ impl Usad {
 
     fn ensure_nets(&mut self, dim: usize) {
         if self.encoder.is_some() {
+            self.ensure_bufs();
             return;
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -101,6 +145,29 @@ impl Usad {
         self.dec1 = Some(Mlp::new(&[self.latent, h2, h1, dim], &dec_acts, &mut rng));
         self.dec2 = Some(Mlp::new(&[self.latent, h2, h1, dim], &dec_acts, &mut rng));
         let _ = self.lr;
+        self.ensure_bufs();
+    }
+
+    fn ensure_bufs(&mut self) {
+        if self.bufs.is_some() {
+            return;
+        }
+        let bs = self.batch_size;
+        let encoder = self.encoder.as_ref().expect("nets initialized");
+        let dec1 = self.dec1.as_ref().expect("nets initialized");
+        let dec2 = self.dec2.as_ref().expect("nets initialized");
+        self.bufs = Some(UsadBuffers {
+            ws_e: encoder.workspace(bs),
+            ws_d1: dec1.workspace(bs),
+            ws_e2: encoder.workspace(bs),
+            ws_d2b: dec2.workspace(bs),
+            ws_d2r: dec2.workspace(bs),
+            g_e: encoder.zero_grads(),
+            g_d1: dec1.zero_grads(),
+            g_d2: dec2.zero_grads(),
+            g_d1_discard: dec1.zero_grads(),
+            g_d2_discard: dec2.zero_grads(),
+        });
     }
 
     fn scaled(&self, x: &FeatureVector) -> Vec<f64> {
@@ -110,80 +177,151 @@ impl Usad {
         }
     }
 
-    /// One adversarial training step on one (standardized) input.
-    fn train_step(&mut self, z_in: &[f64]) {
+    /// Loads one minibatch of scaled inputs into the training buffers.
+    fn load_chunk(&mut self, chunk: &[FeatureVector]) {
+        let bufs = self.bufs.as_mut().expect("buffers initialized");
+        let b = chunk.len();
+        bufs.ws_e.set_batch(b);
+        bufs.ws_d1.set_batch(b);
+        bufs.ws_e2.set_batch(b);
+        bufs.ws_d2b.set_batch(b);
+        bufs.ws_d2r.set_batch(b);
+        for (i, x) in chunk.iter().enumerate() {
+            match &self.scaler {
+                Some(s) => s.transform_into(x.as_slice(), bufs.ws_e.input_row_mut(i)),
+                None => bufs.ws_e.input_row_mut(i).copy_from_slice(x.as_slice()),
+            }
+        }
+    }
+
+    /// One adversarial training step on the minibatch currently loaded in
+    /// the buffers (see [`Self::load_chunk`]). Batched through the
+    /// workspace path; zero heap allocations. At batch size 1 this is
+    /// bitwise identical to the original per-sample adversarial step; for
+    /// larger batches the summed gradients are scaled by `1/B` before each
+    /// Adam step (minibatch mean, as in the USAD reference).
+    fn train_chunk(&mut self) {
         let n = self.epoch.max(1) as f64;
         let w_rec = 1.0 / n;
         let w_adv = (n - 1.0) / n;
         let encoder = self.encoder.as_mut().expect("nets initialized");
         let dec1 = self.dec1.as_mut().expect("nets initialized");
         let dec2 = self.dec2.as_mut().expect("nets initialized");
+        let UsadBuffers {
+            ws_e,
+            ws_d1,
+            ws_e2,
+            ws_d2b,
+            ws_d2r,
+            g_e,
+            g_d1,
+            g_d2,
+            g_d1_discard,
+            g_d2_discard,
+        } = self.bufs.as_mut().expect("buffers initialized");
+        let bsz = ws_e.batch();
 
         // ---- Phase 1: update {E, D1} on L_AE1 = w_rec·R1 + w_adv·R_both.
         {
-            let (z, e_cache) = encoder.forward(z_in);
-            let (r1, d1_cache) = dec1.forward(&z);
-            let (z2, e2_cache) = encoder.forward(&r1);
-            let (rboth, d2_cache) = dec2.forward(&z2);
+            encoder.forward_batch(ws_e); // z
+            ws_d1.input_mut().copy_from(ws_e.output());
+            dec1.forward_batch(ws_d1); // r1
+            ws_e2.input_mut().copy_from(ws_d1.output());
+            encoder.forward_batch(ws_e2); // z2
+            ws_d2b.input_mut().copy_from(ws_e2.output());
+            dec2.forward_batch(ws_d2b); // rboth
 
-            let mut g_e = encoder.zero_grads();
-            let mut g_d1 = dec1.zero_grads();
-            let mut g_d2_discard = dec2.zero_grads(); // D2 frozen this phase
+            g_e.zero();
+            g_d1.zero();
+            g_d2_discard.zero(); // D2 frozen this phase
 
             // ∂L/∂rboth, back through D2 (param grads discarded) and the
             // re-encoding into ∂L/∂r1.
-            let mut g_rboth = mse_grad(&rboth, z_in);
-            for g in &mut g_rboth {
-                *g *= w_adv;
-            }
-            let g_z2 = dec2.backward(&d2_cache, &g_rboth, &mut g_d2_discard);
-            let g_r1_adv = encoder.backward(&e2_cache, &g_z2, &mut g_e);
+            mse_grad_rows_scaled(ws_d2b, ws_e.input(), w_adv);
+            dec2.backward_batch(ws_d2b, g_d2_discard, true); // → g_z2
+            ws_e2.grad_out_mut().copy_from(ws_d2b.grad_in());
+            encoder.backward_batch(ws_e2, g_e, true); // → g_r1_adv
 
-            // Direct reconstruction term ∂(w_rec·R1)/∂r1.
-            let mut g_r1 = mse_grad(&r1, z_in);
-            for (g, adv) in g_r1.iter_mut().zip(&g_r1_adv) {
-                *g = *g * w_rec + adv;
+            // Direct reconstruction term ∂(w_rec·R1)/∂r1, plus the
+            // adversarial term that flowed back through the re-encoding.
+            {
+                let (_, r1, go) = ws_d1.io_split();
+                let z_in = ws_e.input();
+                let adv = ws_e2.grad_in();
+                let d = r1.cols();
+                let scale = 2.0 / d.max(1) as f64;
+                for b in 0..bsz {
+                    for (((g, &p), &t), &a) in go
+                        .row_mut(b)
+                        .iter_mut()
+                        .zip(r1.row(b))
+                        .zip(z_in.row(b))
+                        .zip(adv.row(b))
+                    {
+                        *g = scale * (p - t);
+                        *g = *g * w_rec + a;
+                    }
+                }
             }
-            let g_z = dec1.backward(&d1_cache, &g_r1, &mut g_d1);
-            let _ = encoder.backward(&e_cache, &g_z, &mut g_e);
+            dec1.backward_batch(ws_d1, g_d1, true); // → g_z
+            ws_e.grad_out_mut().copy_from(ws_d1.grad_in());
+            encoder.backward_batch(ws_e, g_e, false);
 
-            encoder.apply_grads(&g_e, &mut self.opt_e1);
-            dec1.apply_grads(&g_d1, &mut self.opt_d1);
+            if bsz > 1 {
+                g_e.scale(1.0 / bsz as f64);
+                g_d1.scale(1.0 / bsz as f64);
+            }
+            encoder.apply_grads(g_e, &mut self.opt_e1);
+            dec1.apply_grads(g_d1, &mut self.opt_d1);
         }
 
         // ---- Phase 2: update {E, D2} on L_AE2 = w_rec·R2 − w_adv·R_both.
         {
-            let (z, e_cache) = encoder.forward(z_in);
-            let (r1, d1_cache) = dec1.forward(&z);
-            let (z2, e2_cache) = encoder.forward(&r1);
-            let (rboth, d2b_cache) = dec2.forward(&z2);
-            let (r2, d2_cache) = dec2.forward(&z);
+            encoder.forward_batch(ws_e); // z (inputs still loaded)
+            ws_d1.input_mut().copy_from(ws_e.output());
+            dec1.forward_batch(ws_d1); // r1
+            ws_e2.input_mut().copy_from(ws_d1.output());
+            encoder.forward_batch(ws_e2); // z2
+            ws_d2b.input_mut().copy_from(ws_e2.output());
+            dec2.forward_batch(ws_d2b); // rboth
+            ws_d2r.input_mut().copy_from(ws_e.output());
+            dec2.forward_batch(ws_d2r); // r2
 
-            let mut g_e = encoder.zero_grads();
-            let mut g_d2 = dec2.zero_grads();
-            let mut g_d1_discard = dec1.zero_grads(); // D1 frozen this phase
+            g_e.zero();
+            g_d2.zero();
+            g_d1_discard.zero(); // D1 frozen this phase
 
             // + w_rec·R2 path: x → E → z → D2 → r2.
-            let mut g_r2 = mse_grad(&r2, z_in);
-            for g in &mut g_r2 {
-                *g *= w_rec;
-            }
-            let g_z_a = dec2.backward(&d2_cache, &g_r2, &mut g_d2);
+            mse_grad_rows_scaled(ws_d2r, ws_e.input(), w_rec);
+            dec2.backward_batch(ws_d2r, g_d2, true); // → g_z_a
 
             // − w_adv·R_both path: …D1(E(x)) → E → z2 → D2 → rboth.
-            let mut g_rboth = mse_grad(&rboth, z_in);
-            for g in &mut g_rboth {
-                *g *= -w_adv;
+            mse_grad_rows_scaled(ws_d2b, ws_e.input(), -w_adv);
+            dec2.backward_batch(ws_d2b, g_d2, true); // → g_z2
+            ws_e2.grad_out_mut().copy_from(ws_d2b.grad_in());
+            encoder.backward_batch(ws_e2, g_e, true); // → g_r1
+            ws_d1.grad_out_mut().copy_from(ws_e2.grad_in());
+            dec1.backward_batch(ws_d1, g_d1_discard, true); // → g_z_b
+
+            // g_z = g_z_a + g_z_b, through the first encoding.
+            {
+                let go = ws_e.grad_out_mut();
+                for b in 0..bsz {
+                    for ((g, &a), &c) in
+                        go.row_mut(b).iter_mut().zip(ws_d2r.grad_in().row(b)).zip(ws_d1.grad_in().row(b))
+                    {
+                        *g = a + c;
+                    }
+                }
             }
-            let g_z2 = dec2.backward(&d2b_cache, &g_rboth, &mut g_d2);
-            let g_r1 = encoder.backward(&e2_cache, &g_z2, &mut g_e);
-            let g_z_b = dec1.backward(&d1_cache, &g_r1, &mut g_d1_discard);
+            encoder.backward_batch(ws_e, g_e, false);
 
-            let g_z: Vec<f64> = g_z_a.iter().zip(&g_z_b).map(|(a, b)| a + b).collect();
-            let _ = encoder.backward(&e_cache, &g_z, &mut g_e);
-
-            encoder.apply_grads(&g_e, &mut self.opt_e2);
-            dec2.apply_grads(&g_d2, &mut self.opt_d2);
+            if bsz > 1 {
+                g_e.scale(1.0 / bsz as f64);
+                g_d2.scale(1.0 / bsz as f64);
+            }
+            encoder.apply_grads(g_e, &mut self.opt_e2);
+            dec2.apply_grads(g_d2, &mut self.opt_d2);
         }
     }
 
@@ -208,6 +346,25 @@ impl Usad {
         let r1_err: f64 = z_in.iter().zip(&r1).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / d;
         let rb_err: f64 = z_in.iter().zip(&rboth).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / d;
         alpha * r1_err + beta * rb_err
+    }
+}
+
+/// Writes `factor · ∂mean((out − target)²)/∂out` into the workspace's output
+/// gradient, row by row.
+///
+/// The two-operation form (`scale·(p − t)` then `*= factor`) replicates the
+/// original per-sample code path (`mse_grad` followed by a separate scaling
+/// pass) exactly, keeping batch size 1 bitwise identical to the per-sample
+/// trajectory.
+fn mse_grad_rows_scaled(ws: &mut MlpWorkspace, target: &Matrix, factor: f64) {
+    let (_, out, go) = ws.io_split();
+    let d = out.cols();
+    let scale = 2.0 / d.max(1) as f64;
+    for b in 0..out.rows() {
+        for ((g, &p), &t) in go.row_mut(b).iter_mut().zip(out.row(b)).zip(target.row(b)) {
+            *g = scale * (p - t);
+            *g *= factor;
+        }
     }
 }
 
@@ -244,9 +401,9 @@ impl StreamModel for Usad {
         }
         self.ensure_nets(train[0].dim());
         self.epoch += 1;
-        let inputs: Vec<Vec<f64>> = train.iter().map(|x| self.scaled(x)).collect();
-        for z in &inputs {
-            self.train_step(z);
+        for chunk in train.chunks(self.batch_size) {
+            self.load_chunk(chunk);
+            self.train_chunk();
         }
     }
 

@@ -18,15 +18,6 @@ pub struct Dense {
     pub activation: Activation,
 }
 
-/// Forward-pass cache needed by [`Dense::backward`].
-#[derive(Debug, Clone)]
-pub struct DenseCache {
-    /// The layer input.
-    pub input: Vec<f64>,
-    /// The post-activation output.
-    pub output: Vec<f64>,
-}
-
 /// Parameter gradients of one layer.
 #[derive(Debug, Clone)]
 pub struct DenseGrads {
@@ -60,17 +51,6 @@ impl Dense {
         self.weights.rows() * self.weights.cols() + self.bias.len()
     }
 
-    /// Forward pass returning the output and the cache for backprop.
-    pub fn forward(&self, x: &[f64]) -> (Vec<f64>, DenseCache) {
-        assert_eq!(x.len(), self.in_dim(), "Dense forward: input dim mismatch");
-        let mut out = self.weights.matvec(x);
-        for (o, b) in out.iter_mut().zip(&self.bias) {
-            *o += b;
-        }
-        self.activation.apply_slice(&mut out);
-        (out.clone(), DenseCache { input: x.to_vec(), output: out })
-    }
-
     /// Forward pass without caching (inference only).
     pub fn infer(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim(), "Dense infer: input dim mismatch");
@@ -82,23 +62,34 @@ impl Dense {
         out
     }
 
-    /// Backward pass.
+    /// Backward pass from explicit forward state.
     ///
-    /// Given `∂L/∂y` (`grad_out`) and the forward cache, accumulates
-    /// parameter gradients into `grads` and returns `∂L/∂x`.
-    pub fn backward(&self, cache: &DenseCache, grad_out: &[f64], grads: &mut DenseGrads) -> Vec<f64> {
+    /// `input` is the vector the layer was applied to, `output` the
+    /// post-activation result of that application (both are owned once by
+    /// the caller's cache — the layer never duplicates them). Given
+    /// `∂L/∂y` (`grad_out`), accumulates parameter gradients into `grads`
+    /// and returns `∂L/∂x`.
+    pub fn backward(
+        &self,
+        input: &[f64],
+        output: &[f64],
+        grad_out: &[f64],
+        grads: &mut DenseGrads,
+    ) -> Vec<f64> {
         assert_eq!(grad_out.len(), self.out_dim(), "Dense backward: grad dim mismatch");
+        assert_eq!(input.len(), self.in_dim(), "Dense backward: input dim mismatch");
+        assert_eq!(output.len(), self.out_dim(), "Dense backward: output dim mismatch");
         // δ = ∂L/∂(Wx+b) = grad_out ⊙ act'(y)
         let delta: Vec<f64> = grad_out
             .iter()
-            .zip(&cache.output)
+            .zip(output)
             .map(|(&g, &y)| g * self.activation.derivative_from_output(y))
             .collect();
         // ∂L/∂W = δ xᵀ  (outer product), ∂L/∂b = δ
         for (i, &d) in delta.iter().enumerate() {
             if d != 0.0 {
                 let row = grads.weights.row_mut(i);
-                for (w, &xi) in row.iter_mut().zip(&cache.input) {
+                for (w, &xi) in row.iter_mut().zip(input) {
                     *w += d * xi;
                 }
             }
@@ -124,23 +115,13 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn forward_linear_known_values() {
+    fn infer_linear_known_values() {
         let layer = Dense {
             weights: Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -1.0]]),
             bias: vec![0.5, 1.0],
             activation: Activation::Identity,
         };
-        let (y, _) = layer.forward(&[1.0, 1.0]);
-        assert_eq!(y, vec![3.5, 0.0]);
-    }
-
-    #[test]
-    fn infer_matches_forward() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let layer = Dense::xavier(4, 3, Activation::Tanh, &mut rng);
-        let x = [0.1, -0.2, 0.3, 0.7];
-        let (y, _) = layer.forward(&x);
-        assert_eq!(layer.infer(&x), y);
+        assert_eq!(layer.infer(&[1.0, 1.0]), vec![3.5, 0.0]);
     }
 
     #[test]
@@ -161,10 +142,10 @@ mod tests {
             let x = [0.3, -0.5, 0.8];
             let target = [0.1, -0.2];
             // L = 0.5 * ||y - target||^2  =>  dL/dy = y - target
-            let (y, cache) = layer.forward(&x);
+            let y = layer.infer(&x);
             let grad_out: Vec<f64> = y.iter().zip(&target).map(|(a, b)| a - b).collect();
             let mut grads = layer.zero_grads();
-            let grad_in = layer.backward(&cache, &grad_out, &mut grads);
+            let grad_in = layer.backward(&x, &y, &grad_out, &mut grads);
 
             let eps = 1e-6;
             let loss = |l: &Dense, x: &[f64]| -> f64 {

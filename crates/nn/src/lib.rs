@@ -14,20 +14,29 @@
 //!   returns the gradient with respect to the *input*. This is what lets
 //!   USAD chain `∂‖x − AE₂(AE₁(x))‖²/∂θ_{AE₁}` through the second
 //!   autoencoder, and lets N-BEATS propagate through its residual stacking.
-//! * Parameters and gradients flatten to plain `[f64]` buffers
-//!   ([`Mlp::params_flat`], [`MlpGrads::flatten`]) so any
-//!   `sad_tensor::Optimizer` drives the update — mirroring the paper's
-//!   `θ ← θ − Σ Opt(∂L/∂θ)` fine-tuning formulation.
+//! * Parameters update **in place** through the segmented
+//!   `sad_tensor::Optimizer` API ([`Mlp::apply_grads`]), bitwise identical
+//!   to one flat step over [`Mlp::params_flat`] — mirroring the paper's
+//!   `θ ← θ − Σ Opt(∂L/∂θ)` fine-tuning formulation without the
+//!   flatten/unflatten copies.
+//! * The streaming models train through the batched, zero-allocation
+//!   workspace path in [`batch`] ([`Mlp::forward_batch`],
+//!   [`Mlp::backward_batch`], [`MlpWorkspace`]), which packs minibatches
+//!   into row-major matrices and drives the cache-blocked `sad-tensor`
+//!   GEMM kernels; it reproduces the per-sample path bit for bit at batch
+//!   size 1 (see `batch`'s module docs for the pinned summation order).
 //!
 //! Every backward pass is verified against central finite differences in the
 //! test suite (`grad_check`).
 
 pub mod activation;
+pub mod batch;
 pub mod layer;
 pub mod loss;
 pub mod mlp;
 
 pub use activation::Activation;
-pub use layer::{Dense, DenseCache, DenseGrads};
+pub use batch::MlpWorkspace;
+pub use layer::{Dense, DenseGrads};
 pub use loss::{mse, mse_grad, sse, sse_grad};
 pub use mlp::{Mlp, MlpCache, MlpGrads};

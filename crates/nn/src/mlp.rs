@@ -1,7 +1,7 @@
 //! Multi-layer perceptron: a stack of [`Dense`] layers.
 
 use crate::activation::Activation;
-use crate::layer::{Dense, DenseCache, DenseGrads};
+use crate::layer::{Dense, DenseGrads};
 use crate::loss::{mse, mse_grad};
 use rand::Rng;
 use sad_tensor::Optimizer;
@@ -12,19 +12,29 @@ use sad_tensor::Optimizer;
 /// inside each N-BEATS block are instances of this type.
 #[derive(Debug, Clone)]
 pub struct Mlp {
-    layers: Vec<Dense>,
+    pub(crate) layers: Vec<Dense>,
 }
 
-/// Per-layer forward caches for one input.
+/// Forward activations for one input: the network input plus every layer's
+/// post-activation output, each stored exactly once (layer `l`'s input *is*
+/// layer `l − 1`'s output — nothing is duplicated).
 #[derive(Debug, Clone)]
 pub struct MlpCache {
-    caches: Vec<DenseCache>,
+    input: Vec<f64>,
+    outputs: Vec<Vec<f64>>,
+}
+
+impl MlpCache {
+    /// The network output (the last layer's activation).
+    pub fn output(&self) -> &[f64] {
+        self.outputs.last().expect("non-empty")
+    }
 }
 
 /// Parameter gradients for a whole [`Mlp`].
 #[derive(Debug, Clone)]
 pub struct MlpGrads {
-    layers: Vec<DenseGrads>,
+    pub(crate) layers: Vec<DenseGrads>,
 }
 
 impl Mlp {
@@ -79,27 +89,27 @@ impl Mlp {
         cur
     }
 
-    /// Forward pass keeping the caches needed for [`Self::backward`].
-    pub fn forward(&self, x: &[f64]) -> (Vec<f64>, MlpCache) {
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut cur = x.to_vec();
-        for layer in &self.layers {
-            let (out, cache) = layer.forward(&cur);
-            caches.push(cache);
-            cur = out;
+    /// Forward pass keeping the activations needed for [`Self::backward`].
+    ///
+    /// The returned cache stores each activation exactly once; read the
+    /// network output via [`MlpCache::output`].
+    pub fn forward(&self, x: &[f64]) -> MlpCache {
+        let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let out = if l == 0 { layer.infer(x) } else { layer.infer(&outputs[l - 1]) };
+            outputs.push(out);
         }
-        (cur, MlpCache { caches })
+        MlpCache { input: x.to_vec(), outputs }
     }
 
     /// Backward pass: given `∂L/∂ŷ`, accumulates parameter gradients into
     /// `grads` and returns `∂L/∂x` (enabling cross-network chaining).
     pub fn backward(&self, cache: &MlpCache, grad_out: &[f64], grads: &mut MlpGrads) -> Vec<f64> {
-        assert_eq!(cache.caches.len(), self.layers.len(), "cache/layer count mismatch");
+        assert_eq!(cache.outputs.len(), self.layers.len(), "cache/layer count mismatch");
         let mut grad = grad_out.to_vec();
-        for ((layer, lcache), lgrads) in
-            self.layers.iter().zip(&cache.caches).zip(&mut grads.layers).rev()
-        {
-            grad = layer.backward(lcache, &grad, lgrads);
+        for l in (0..self.layers.len()).rev() {
+            let input = if l == 0 { &cache.input } else { &cache.outputs[l - 1] };
+            grad = self.layers[l].backward(input, &cache.outputs[l], &grad, &mut grads.layers[l]);
         }
         grad
     }
@@ -136,21 +146,58 @@ impl Mlp {
         }
     }
 
-    /// One optimizer step from accumulated gradients: flattens params and
-    /// grads, applies `opt`, writes the parameters back.
+    /// One optimizer step from accumulated gradients, **in place** on the
+    /// layer parameters.
+    ///
+    /// Uses the optimizer's segmented-step API ([`Optimizer::begin_step`] +
+    /// one [`Optimizer::step_segment`] per weight matrix / bias vector), so
+    /// the update is bitwise identical to flattening the parameters through
+    /// `params_flat()`/`set_params_flat()` and calling `opt.step` once —
+    /// without the three `O(P)` copies and two heap allocations that
+    /// round-trip used to cost per training step.
     pub fn apply_grads(&mut self, grads: &MlpGrads, opt: &mut dyn Optimizer) {
-        let mut params = self.params_flat();
-        let flat_grads = grads.flatten();
-        opt.step(&mut params, &flat_grads);
-        self.set_params_flat(&params);
+        opt.begin_step(self.num_params());
+        self.apply_grads_segmented(grads, opt, 0);
+    }
+
+    /// Applies `opt.step_segment` for every layer, starting at `offset`
+    /// within the optimizer's logical parameter buffer; returns the offset
+    /// just past this network.
+    ///
+    /// This is the composition hook for models that drive *several*
+    /// networks from one optimizer instance (N-BEATS steps each block's
+    /// trunk + backcast head + forecast head as one logical buffer): call
+    /// `opt.begin_step(total)` once, then chain `apply_grads_segmented`
+    /// over the networks in the pinned parameter order.
+    pub fn apply_grads_segmented(
+        &mut self,
+        grads: &MlpGrads,
+        opt: &mut dyn Optimizer,
+        offset: usize,
+    ) -> usize {
+        assert_eq!(self.layers.len(), grads.layers.len(), "grad shape mismatch");
+        let mut off = offset;
+        for (layer, lg) in self.layers.iter_mut().zip(&grads.layers) {
+            let w = layer.weights.as_mut_slice();
+            opt.step_segment(off, w, lg.weights.as_slice());
+            off += lg.weights.rows() * lg.weights.cols();
+            opt.step_segment(off, &mut layer.bias, &lg.bias);
+            off += lg.bias.len();
+        }
+        off
     }
 
     /// One full MSE training step on a single example. Returns the loss
     /// *before* the update.
+    ///
+    /// This is the compatibility per-sample API (used by the single-stream
+    /// fork experiment); the streaming models train through the batched
+    /// workspace path in `batch.rs`, which is bitwise identical to this one
+    /// at batch size 1.
     pub fn train_step_mse(&mut self, x: &[f64], target: &[f64], opt: &mut dyn Optimizer) -> f64 {
-        let (pred, cache) = self.forward(x);
-        let loss = mse(&pred, target);
-        let grad_out = mse_grad(&pred, target);
+        let cache = self.forward(x);
+        let loss = mse(cache.output(), target);
+        let grad_out = mse_grad(cache.output(), target);
         let mut grads = self.zero_grads();
         self.backward(&cache, &grad_out, &mut grads);
         self.apply_grads(&grads, opt);
@@ -186,15 +233,34 @@ impl MlpGrads {
         }
     }
 
-    /// Scales all gradients by `s` (e.g. `1/batch`).
+    /// Scales all gradients by `s` (e.g. `1/batch`), in place — no
+    /// temporary matrix is allocated.
     pub fn scale(&mut self, s: f64) {
         for layer in &mut self.layers {
-            let scaled = layer.weights.scale(s);
-            layer.weights = scaled;
+            layer.weights.scale_mut(s);
             for b in &mut layer.bias {
                 *b *= s;
             }
         }
+    }
+
+    /// Zeroes every gradient in place (reusing the buffers between steps).
+    pub fn zero(&mut self) {
+        for layer in &mut self.layers {
+            layer.weights.fill(0.0);
+            layer.bias.fill(0.0);
+        }
+    }
+
+    /// The per-layer gradient buffers, in layer order.
+    pub fn layers(&self) -> &[DenseGrads] {
+        &self.layers
+    }
+
+    /// Mutable per-layer gradient buffers (e.g. to zero a frozen layer's
+    /// gradients before an optimizer step).
+    pub fn layers_mut(&mut self) -> &mut [DenseGrads] {
+        &mut self.layers
     }
 }
 
@@ -214,8 +280,8 @@ mod tests {
     fn infer_matches_forward() {
         let mlp = tiny_mlp(3);
         let x = [0.2, -0.4, 0.9];
-        let (y, _) = mlp.forward(&x);
-        assert_eq!(mlp.infer(&x), y);
+        let cache = mlp.forward(&x);
+        assert_eq!(mlp.infer(&x), cache.output());
     }
 
     #[test]
@@ -239,8 +305,8 @@ mod tests {
         let x = [0.3, -0.1, 0.5];
         let target = [0.2, -0.7];
 
-        let (pred, cache) = mlp.forward(&x);
-        let grad_out = mse_grad(&pred, &target);
+        let cache = mlp.forward(&x);
+        let grad_out = mse_grad(cache.output(), &target);
         let mut grads = mlp.zero_grads();
         let grad_in = mlp.backward(&cache, &grad_out, &mut grads);
         let flat_grads = grads.flatten();
@@ -309,8 +375,8 @@ mod tests {
         let mlp = tiny_mlp(31);
         let x = [0.3, -0.1, 0.5];
         let target = [0.2, -0.7];
-        let (pred, cache) = mlp.forward(&x);
-        let grad_out = mse_grad(&pred, &target);
+        let cache = mlp.forward(&x);
+        let grad_out = mse_grad(cache.output(), &target);
 
         let mut g1 = mlp.zero_grads();
         mlp.backward(&cache, &grad_out, &mut g1);

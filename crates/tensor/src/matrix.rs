@@ -52,6 +52,31 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Changes the logical row count in place, keeping `cols` fixed.
+    ///
+    /// Shrinking truncates the row-major storage; growing appends zeroed
+    /// rows. Within the largest row count the matrix has ever had, neither
+    /// direction allocates — this is what lets the NN workspaces process a
+    /// trailing partial minibatch without touching the heap.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.rows = rows;
+        self.data.resize(rows * self.cols, 0.0);
+    }
+
+    /// Overwrites `self` element-wise from `rhs` (no allocation).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&rhs.data);
+    }
+
+    /// Sets every element to `value` in place (no allocation).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Creates a matrix from nested row slices (convenient in tests).
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         let r = rows.len();
@@ -134,12 +159,25 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Matrix::matmul`]: writes `self * rhs` into `out`
+    /// (overwriting it). The batched NN training path calls this every step
+    /// with a workspace-owned output buffer.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows` or `out` is not `self.rows x rhs.cols`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape mismatch");
+        out.data.fill(0.0);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -153,7 +191,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transposed-left product `self^T * rhs` without materializing the
@@ -167,12 +204,35 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.rows != rhs.rows`.
     pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_transpose_a_acc(rhs, &mut out);
+        out
+    }
+
+    /// Accumulating, allocation-free [`Matrix::matmul_transpose_a`]:
+    /// `out += self^T * rhs`.
+    ///
+    /// This is the minibatch weight-gradient kernel: with `self = δ`
+    /// (`batch x out_dim`) and `rhs = X` (`batch x in_dim`) it accumulates
+    /// `Σ_s δ_s x_s^T` — one rank-1 row sweep per *sample*, in ascending
+    /// sample order. The summation order therefore matches a per-sample
+    /// backward loop exactly, which is what makes the batched training path
+    /// bitwise-reproducible against the per-sample path (see the parity
+    /// tests in `sad-nn`).
+    ///
+    /// # Panics
+    /// Panics if `self.rows != rhs.rows` or `out` is not `self.cols x rhs.cols`.
+    pub fn matmul_transpose_a_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_transpose_a shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "matmul_transpose_a_acc output shape mismatch"
+        );
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             let rrow = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -186,7 +246,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transposed-right product `self * rhs^T` without materializing the
@@ -198,12 +257,29 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transpose_b_into(rhs, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Matrix::matmul_transpose_b`]: writes
+    /// `self * rhs^T` into `out` (overwriting it).
+    ///
+    /// This is the minibatch *forward* kernel: with `self = X`
+    /// (`batch x in_dim`) and `rhs = W` (`out_dim x in_dim`) every output
+    /// element is `dot4(x_s, w_j)` — the identical four-accumulator dot
+    /// product [`Matrix::matvec`] uses per sample, so the batched forward is
+    /// bitwise-equal to `batch` independent matvecs.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.cols` or `out` is not `self.rows x rhs.rows`.
+    pub fn matmul_transpose_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        assert_eq!(out.shape(), (self.rows, rhs.rows), "matmul_transpose_b_into shape mismatch");
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
@@ -212,7 +288,6 @@ impl Matrix {
                 *o = dot4(arow, rrow);
             }
         }
-        out
     }
 
     /// Matrix-vector product `self * v`.
@@ -269,9 +344,17 @@ impl Matrix {
         self.zip_with(rhs, |a, b| a * b)
     }
 
-    /// Scales every element by `s`.
+    /// Scales every element by `s`, returning a new matrix.
     pub fn scale(&self, s: f64) -> Matrix {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v * s).collect() }
+    }
+
+    /// Scales every element by `s` in place (no allocation) — the gradient
+    /// averaging kernel of the minibatch training path.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
     }
 
     /// In-place `self += s * rhs` (the workhorse of gradient updates).
@@ -448,6 +531,72 @@ mod tests {
         assert_eq!(b.sub(&a), Matrix::from_rows(&[&[2.0, 3.0]]));
         assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, 10.0]]));
         assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn scale_mut_matches_scale() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 - 5.5);
+        let mut b = a.clone();
+        b.scale_mut(-0.25);
+        assert_eq!(b, a.scale(-0.25));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i + j) as f64 * 0.5 - 1.0);
+        let b = Matrix::from_fn(4, 2, |i, j| (i as f64) - (j as f64) * 2.0);
+        let mut out = Matrix::filled(3, 2, 99.0); // stale contents must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_transpose_a_acc_accumulates() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 - 5.0);
+        let b = Matrix::from_fn(4, 2, |i, j| (i as f64) * 0.5 - (j as f64));
+        let mut out = Matrix::zeros(3, 2);
+        a.matmul_transpose_a_acc(&b, &mut out);
+        a.matmul_transpose_a_acc(&b, &mut out);
+        let twice = a.matmul_transpose_a(&b).scale(2.0);
+        assert_eq!(out, twice);
+    }
+
+    #[test]
+    fn matmul_transpose_b_into_matches() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i + 2 * j) as f64 * 0.25);
+        let b = Matrix::from_fn(4, 5, |i, j| (i as f64) - (j as f64) * 1.5);
+        let mut out = Matrix::filled(3, 4, -3.0);
+        a.matmul_transpose_b_into(&b, &mut out);
+        assert_eq!(out, a.matmul_transpose_b(&b));
+    }
+
+    #[test]
+    fn resize_rows_shrinks_and_regrows_zeroed() {
+        let mut m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 + 1.0);
+        m.resize_rows(2);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        m.resize_rows(4);
+        assert_eq!(m.shape(), (4, 3));
+        // Regrown rows are zeroed, not stale.
+        assert!(m.row(2).iter().chain(m.row(3)).all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn copy_from_and_fill() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = Matrix::zeros(2, 2);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        b.fill(7.0);
+        assert!(b.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from shape mismatch")]
+    fn copy_from_shape_mismatch_panics() {
+        let mut b = Matrix::zeros(2, 3);
+        b.copy_from(&Matrix::zeros(3, 2));
     }
 
     #[test]

@@ -22,6 +22,34 @@ pub trait Optimizer {
 
     /// Resets all internal state (moments, step counters).
     fn reset(&mut self);
+
+    /// Begins one *segmented* step over a logical parameter buffer of
+    /// `total_len` scalars that is physically split across several slices
+    /// (e.g. the weight matrix and bias vector of every layer of an MLP).
+    ///
+    /// Advances step counters once and (lazily, on first use) sizes any
+    /// per-parameter state to `total_len`. Follow with one
+    /// [`Optimizer::step_segment`] call per slice; together the segments
+    /// must tile `0..total_len` for the per-parameter state to stay aligned.
+    ///
+    /// A full segmented step over slices that tile the buffer in order is
+    /// **bitwise identical** to flattening the parameters and calling
+    /// [`Optimizer::step`] once — this is what lets the NN training path
+    /// update layer parameters in place with zero allocations instead of
+    /// round-tripping through `params_flat()`/`set_params_flat()`.
+    ///
+    /// # Panics
+    /// Panics if the optimizer was previously used on a buffer of a
+    /// different total length.
+    fn begin_step(&mut self, total_len: usize);
+
+    /// Updates one parameter slice living at `offset` within the logical
+    /// buffer declared by the preceding [`Optimizer::begin_step`].
+    ///
+    /// # Panics
+    /// Panics if `params.len() != grads.len()` or the segment exceeds the
+    /// declared buffer.
+    fn step_segment(&mut self, offset: usize, params: &mut [f64], grads: &[f64]);
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -49,6 +77,25 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        self.begin_step(params.len());
+        self.step_segment(0, params, grads);
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn begin_step(&mut self, total_len: usize) {
+        if self.momentum == 0.0 {
+            return;
+        }
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; total_len];
+        }
+        assert_eq!(self.velocity.len(), total_len, "optimizer reused on different buffer");
+    }
+
+    fn step_segment(&mut self, offset: usize, params: &mut [f64], grads: &[f64]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
         if self.momentum == 0.0 {
             for (p, g) in params.iter_mut().zip(grads) {
@@ -56,18 +103,11 @@ impl Optimizer for Sgd {
             }
             return;
         }
-        if self.velocity.is_empty() {
-            self.velocity = vec![0.0; params.len()];
-        }
-        assert_eq!(self.velocity.len(), params.len(), "optimizer reused on different buffer");
-        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+        let velocity = &mut self.velocity[offset..offset + params.len()];
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(velocity) {
             *v = self.momentum * *v + g;
             *p -= self.lr * *v;
         }
-    }
-
-    fn reset(&mut self) {
-        self.velocity.clear();
     }
 }
 
@@ -85,40 +125,63 @@ pub struct Adam {
     m: Vec<f64>,
     v: Vec<f64>,
     t: u64,
+    /// Bias corrections `1 − βᵢ^t` of the step opened by `begin_step`.
+    bc: (f64, f64),
 }
 
 impl Adam {
     /// Creates Adam with the canonical β₁=0.9, β₂=0.999, ε=1e-8.
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+            bc: (1.0, 1.0),
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
-        if self.m.is_empty() {
-            self.m = vec![0.0; params.len()];
-            self.v = vec![0.0; params.len()];
-        }
-        assert_eq!(self.m.len(), params.len(), "optimizer reused on different buffer");
-        self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / bc1;
-            let v_hat = self.v[i] / bc2;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        self.begin_step(params.len());
+        self.step_segment(0, params, grads);
     }
 
     fn reset(&mut self) {
         self.m.clear();
         self.v.clear();
         self.t = 0;
+    }
+
+    fn begin_step(&mut self, total_len: usize) {
+        if self.m.is_empty() {
+            self.m = vec![0.0; total_len];
+            self.v = vec![0.0; total_len];
+        }
+        assert_eq!(self.m.len(), total_len, "optimizer reused on different buffer");
+        self.t += 1;
+        self.bc =
+            (1.0 - self.beta1.powi(self.t as i32), 1.0 - self.beta2.powi(self.t as i32));
+    }
+
+    fn step_segment(&mut self, offset: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let (bc1, bc2) = self.bc;
+        let m = &mut self.m[offset..offset + params.len()];
+        let v = &mut self.v[offset..offset + params.len()];
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
     }
 }
 
@@ -183,6 +246,18 @@ impl Optimizer for OnlineNewtonStep {
 
     fn reset(&mut self) {
         self.initialized = false;
+    }
+
+    fn begin_step(&mut self, _total_len: usize) {
+        // ONS updates a dense d×d inverse Hessian approximation; there is no
+        // meaningful way to update it from disjoint parameter slices. The
+        // small coefficient buffers it serves (online ARIMA) always step in
+        // one piece, so a segmented step is a single full-buffer segment.
+    }
+
+    fn step_segment(&mut self, offset: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(offset, 0, "OnlineNewtonStep supports only single-segment steps");
+        self.step(params, grads);
     }
 }
 
@@ -262,6 +337,67 @@ mod tests {
         opt.step(&mut p, &[1.0]);
         let mut q = [0.0, 0.0];
         opt.step(&mut q, &[1.0, 1.0]);
+    }
+
+    /// Runs `steps` flat updates and `steps` segmented updates (split at
+    /// `split`) from identical starting points and asserts the trajectories
+    /// are bitwise identical — the contract that lets the NN training path
+    /// step layer parameters in place without flattening.
+    fn assert_segmented_matches_flat(
+        mut flat_opt: impl Optimizer,
+        mut seg_opt: impl Optimizer,
+        split: usize,
+        steps: usize,
+    ) {
+        let mut flat = [0.7, -1.3, 2.1, 0.4, -0.9];
+        let mut seg = flat;
+        for k in 0..steps {
+            let grads: Vec<f64> =
+                flat.iter().enumerate().map(|(i, p)| 2.0 * p + (i + k) as f64 * 0.01).collect();
+            flat_opt.step(&mut flat, &grads);
+            // Gradients for the segmented twin must come from its own params.
+            let seg_grads: Vec<f64> =
+                seg.iter().enumerate().map(|(i, p)| 2.0 * p + (i + k) as f64 * 0.01).collect();
+            seg_opt.begin_step(seg.len());
+            let (pa, pb) = seg.split_at_mut(split);
+            let (ga, gb) = seg_grads.split_at(split);
+            seg_opt.step_segment(0, pa, ga);
+            seg_opt.step_segment(split, pb, gb);
+            assert_eq!(
+                flat.map(f64::to_bits),
+                seg.map(f64::to_bits),
+                "diverged at step {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn adam_segmented_step_is_bitwise_flat_step() {
+        assert_segmented_matches_flat(Adam::new(0.05), Adam::new(0.05), 2, 25);
+    }
+
+    #[test]
+    fn sgd_momentum_segmented_step_is_bitwise_flat_step() {
+        assert_segmented_matches_flat(
+            Sgd::with_momentum(0.05, 0.9),
+            Sgd::with_momentum(0.05, 0.9),
+            3,
+            25,
+        );
+    }
+
+    #[test]
+    fn sgd_plain_segmented_step_is_bitwise_flat_step() {
+        assert_segmented_matches_flat(Sgd::new(0.1), Sgd::new(0.1), 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-segment")]
+    fn ons_rejects_partial_segments() {
+        let mut opt = OnlineNewtonStep::new(0.5, 0.1);
+        opt.begin_step(2);
+        let mut p = [0.0];
+        opt.step_segment(1, &mut p, &[1.0]);
     }
 
     #[test]
