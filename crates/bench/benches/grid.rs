@@ -1,0 +1,75 @@
+//! Shared-pass scorer fan-out vs legacy per-scorer evaluation.
+//!
+//! Measures one `(spec, corpus)` Table III group evaluated two ways:
+//!
+//! * `shared_pass` — the fan-out path: one detector pass per series, the
+//!   nonconformity stream teed through a three-scorer
+//!   [`sad_core::ScorerBank`] (what [`sad_bench::run_grid`] schedules).
+//! * `per_scorer` — the pre-fan-out protocol: three independent detector
+//!   passes, one per scorer.
+//!
+//! The ratio is the tentpole speedup of the fan-out refactor (~3× for
+//! scorer-feedback-free groups, which are 24 of 26 Table I specs ×
+//! corpora). An ARES group is measured too: it shares only the warm-up,
+//! so its ratio is bounded by the warm-up share of the series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sad_bench::evaluate_spec_scorers;
+use sad_core::{paper_algorithms, DetectorConfig, ModelKind, ScoreKind, Task1};
+use sad_data::{daphnet_like, CorpusParams};
+use sad_models::BuildParams;
+use std::hint::black_box;
+
+const SCORERS: [ScoreKind; 3] =
+    [ScoreKind::Raw, ScoreKind::Average, ScoreKind::AnomalyLikelihood];
+
+fn bench_group(c: &mut Criterion) {
+    let cp = CorpusParams { length: 900, n_series: 1, anomalies_per_series: 2, with_drift: true };
+    let corpus = daphnet_like(42, cp);
+    let config = DetectorConfig {
+        window: 20,
+        channels: corpus.series[0].channels(),
+        warmup: 300,
+        initial_epochs: 2,
+        fine_tune_epochs: 1,
+    };
+    let params = BuildParams::new(config).with_capacity(40).with_kswin_stride(5);
+
+    // One cheap feedback-free spec (shared pass) and its ARES sibling
+    // (warm-up share only).
+    let shared_spec = paper_algorithms()
+        .into_iter()
+        .find(|s| s.model == ModelKind::OnlineArima && s.task1 == Task1::SlidingWindow)
+        .expect("ARIMA/SW is in Table I");
+    let ares_spec = paper_algorithms()
+        .into_iter()
+        .find(|s| s.model == ModelKind::OnlineArima && s.task1 == Task1::AnomalyAwareReservoir)
+        .expect("ARIMA/ARES is in Table I");
+
+    let mut group = c.benchmark_group("table3_group");
+    group.sample_size(10);
+    for (name, spec) in [("shared_pass/ARIMA-SW", shared_spec), ("warmup_share/ARIMA-ARES", ares_spec)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, &spec| {
+            b.iter(|| black_box(evaluate_spec_scorers(spec, &params, &corpus, &SCORERS)));
+        });
+    }
+    // The pre-fan-out protocol for the same group: three independent
+    // single-scorer evaluations (each one is itself the fan-out of a
+    // single scorer, i.e. exactly one detector pass per scorer).
+    group.bench_with_input(
+        BenchmarkId::from_parameter("per_scorer/ARIMA-SW"),
+        &shared_spec,
+        |b, &spec| {
+            b.iter(|| {
+                for &kind in &SCORERS {
+                    black_box(evaluate_spec_scorers(spec, &params, &corpus, &[kind]));
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_group);
+criterion_main!(benches);

@@ -19,11 +19,12 @@
 
 use sad_bench::{harness_params, HarnessArgs, HarnessScale, Table};
 use sad_core::{
-    AnomalyLikelihood, Detector, ModelKind, MuSigmaChange, SlidingWindowSet, StreamModel,
+    AnomalyLikelihood, Detector, ModelKind, MuSigmaChange, ScoreKind, SlidingWindowSet,
+    StreamModel,
 };
 use sad_data::{daphnet_like, smd_like, Corpus, CorpusParams};
 use sad_metrics::{best_f1, pr_auc};
-use sad_models::{build_model, VarModel};
+use sad_models::{build_model, build_scorer_bank, VarModel};
 
 fn evaluate(model: Box<dyn StreamModel>, corpus: &Corpus) -> (f64, f64) {
     let series = &corpus.series[0];
@@ -35,10 +36,16 @@ fn evaluate(model: Box<dyn StreamModel>, corpus: &Corpus) -> (f64, f64) {
         Box::new(MuSigmaChange::new()),
         Box::new(AnomalyLikelihood::new(params.score_k, params.score_k_short)),
     );
-    let (scores, offset) = det.score_series(&series.data);
-    let labels = &series.labels[offset..];
-    let (_th, _p, _r, f1) = best_f1(&scores, labels, 40);
-    (pr_auc(&scores, labels, 40), f1)
+    // SW is scorer-feedback-free, so the fan-out path with a single-AL
+    // bank reproduces `score_series` with the AL scorer bitwise — this
+    // binary rides the same shared-pass machinery as the Table III grid.
+    debug_assert!(det.scorer_feedback_free());
+    let mut bank = build_scorer_bank(&[ScoreKind::AnomalyLikelihood], &params);
+    let run = det.run_fanout(&series.data, &mut bank);
+    let scores = &run.traces[0];
+    let labels = &series.labels[run.offset..];
+    let (_th, _p, _r, f1) = best_f1(scores, labels, 40);
+    (pr_auc(scores, labels, 40), f1)
 }
 
 const MODEL_NAMES: [&str; 2] = ["Online ARIMA", "VAR(3)"];

@@ -14,20 +14,24 @@
 //! cargo run --release -p sad-bench --bin table3_results -- --serial # one worker
 //! ```
 //!
-//! The 234 (spec, corpus, scorer) cells are independent and run on a
+//! The grid is scheduled as 78 (spec, corpus) **groups** on a
 //! work-stealing job pool (default: all available cores; `--serial` or
-//! `--jobs N` to override). Results are **deterministic and byte-identical
-//! at any job count** — every cell seeds its own RNG chain and lands in a
-//! fixed slot. Per-cell wall times are written to
-//! `bench_output/table3_timing.json` as a perf-regression artifact.
+//! `--jobs N` to override); inside each group the three scorers share a
+//! single detector pass per series (scorer fan-out — anomaly-feedback
+//! strategies share the warm-up and fork per scorer instead). Results are
+//! **deterministic and byte-identical at any job count, and to the
+//! pre-fan-out per-cell grid** — every group seeds its own RNG chain and
+//! its rows land in fixed cell slots. Per-group (and legacy per-cell) wall
+//! times are written to `bench_output/table3_timing.json` as a
+//! perf-regression artifact.
 //!
 //! The quick profile shortens the series and strides the KSWIN test; the
 //! full profile uses w = 100 and a 5000-step warm-up as in the paper
 //! (minutes on a multi-core machine instead of the previous ~hour serial).
 
 use sad_bench::{
-    cell_index, run_grid, CellTiming, EvalRow, GridDims, HarnessArgs, HarnessScale, Table,
-    TimingArtifact,
+    cell_index, run_grid, CellTiming, EvalRow, GridDims, GroupTiming, HarnessArgs, HarnessScale,
+    Table, TimingArtifact,
 };
 use sad_core::{paper_algorithms, ScoreKind};
 use sad_data::{daphnet_like, exathlon_like, smd_like, Corpus, CorpusParams};
@@ -136,6 +140,19 @@ fn main() {
                 label: label.clone(),
                 wall,
                 train_seconds: row.train_seconds,
+            })
+            .collect(),
+        groups: grid
+            .group_labels
+            .iter()
+            .zip(&grid.group_times)
+            .zip(grid.group_shared.iter().zip(&grid.group_train_seconds))
+            .map(|((label, &wall), (&shared_pass, &train_seconds))| GroupTiming {
+                label: label.clone(),
+                wall,
+                train_seconds,
+                shared_pass,
+                scorers: scorers.len(),
             })
             .collect(),
     };

@@ -12,7 +12,7 @@
 use sad_core::{AlgorithmSpec, DetectorConfig, ScoreKind};
 use sad_data::Corpus;
 use sad_metrics::{best_f1, best_nab, pr_auc, vus_pr};
-use sad_models::{build_detector, BuildParams};
+use sad_models::{build_detector, build_scorer, build_scorer_bank, BuildParams};
 
 /// One row of Table III: the five metrics for one algorithm on one corpus.
 #[derive(Debug, Clone, Copy, Default)]
@@ -104,42 +104,144 @@ pub fn harness_params(channels: usize, scale: HarnessScale) -> BuildParams {
     }
 }
 
+/// Number of thresholds in every metric sweep (one value for the whole
+/// harness so PR curves are comparable across algorithms).
+const N_THRESHOLDS: usize = 40;
+
+/// Computes the five-metric row for one score trace against its aligned
+/// labels.
+fn metrics_row(
+    scores: &[f64],
+    labels: &[bool],
+    window: usize,
+    train_seconds: f64,
+) -> EvalRow {
+    debug_assert_eq!(scores.len(), labels.len());
+    let (_th, precision, recall, _f1) = best_f1(scores, labels, N_THRESHOLDS);
+    let auc = pr_auc(scores, labels, N_THRESHOLDS);
+    let vus = vus_pr(scores, labels, window, N_THRESHOLDS);
+    // NAB gets its own best operating point, symmetric with the best-F1
+    // treatment of precision/recall (the paper does not state its
+    // thresholding rule).
+    let (_nab_th, report) = best_nab(scores, labels, N_THRESHOLDS);
+    EvalRow { precision, recall, auc, vus, nab: report.score, train_seconds }
+}
+
+/// Result of evaluating one `(spec, corpus)` group over several scorers at
+/// once.
+#[derive(Debug, Clone)]
+pub struct GroupEval {
+    /// One corpus-averaged metric row per requested scorer, in input order.
+    pub rows: Vec<EvalRow>,
+    /// Whether the scorer fan-out shared a single detector pass per series.
+    /// `false` only for anomaly-feedback strategies (ARES), which share the
+    /// warm-up + initial fit and then fork one detector per scorer.
+    pub shared_pass: bool,
+    /// True training wall time of the group (seconds): shared work counted
+    /// once, unlike summing the per-scorer `train_seconds` telemetry.
+    pub train_seconds: f64,
+}
+
+/// Runs `spec` over every series of `corpus` once per series (when the
+/// algorithm permits) and returns one corpus-averaged metric row **per
+/// scorer** in `scorers`.
+///
+/// Two regimes, both bitwise identical to per-scorer [`evaluate_spec`]
+/// runs:
+///
+/// * **Shared pass** (SW / URES training strategies): the anomaly score
+///   `f_t` never feeds back into the detector trajectory
+///   ([`sad_core::Detector::scorer_feedback_free`]), so the per-step
+///   nonconformity stream `a_t` is teed through a
+///   [`sad_core::ScorerBank`] and every scorer's trace falls out of ONE
+///   detector pass.
+/// * **Warm-up share** (ARES): `f_t` drives the reservoir's priority
+///   function, so post-warm-up trajectories are scorer-dependent. The
+///   warm-up prefix + initial fit (the expensive part — the scorer is
+///   never consulted before the first post-warm-up step) is computed once,
+///   then the detector is cloned per scorer with a fresh scorer swapped
+///   in, reproducing each standalone run bitwise.
+pub fn evaluate_spec_scorers(
+    spec: AlgorithmSpec,
+    params: &BuildParams,
+    corpus: &Corpus,
+    scorers: &[ScoreKind],
+) -> GroupEval {
+    assert!(!scorers.is_empty(), "at least one scorer required");
+    let window = params.config.window;
+    // Per-scorer accumulation of per-series rows.
+    let mut per_scorer: Vec<Vec<EvalRow>> = vec![Vec::new(); scorers.len()];
+    let mut group_train = 0.0f64;
+    let mut shared_pass = true;
+    for series in &corpus.series {
+        // Component RNG chains and the detector trajectory up to the first
+        // scored step are scorer-independent, so building with the first
+        // requested scorer is representative.
+        let p = params.clone().with_score(scorers[0]);
+        let mut detector = build_detector(spec, &p);
+        if detector.scorer_feedback_free() {
+            // Single pass, nonconformity teed through the bank.
+            let mut bank = build_scorer_bank(scorers, params);
+            let run = detector.run_fanout(&series.data, &mut bank);
+            let labels = &series.labels[run.offset..];
+            let train = detector.train_time().as_secs_f64();
+            group_train += train;
+            for (k, trace) in run.traces.iter().enumerate() {
+                per_scorer[k].push(metrics_row(trace, labels, window, train));
+            }
+        } else {
+            shared_pass = scorers.len() == 1;
+            // Warm-up share: stream the warm-up prefix once (every step
+            // returns `None`; the scorer is untouched), then fork.
+            let warm = params.config.warmup.min(series.data.len());
+            for s in &series.data[..warm] {
+                let out = detector.step(s);
+                debug_assert!(out.is_none(), "warm-up step produced output");
+            }
+            let base_train = detector.train_time().as_secs_f64();
+            group_train += base_train;
+            for (k, &kind) in scorers.iter().enumerate() {
+                let mut fork = detector.clone();
+                fork.set_scorer(build_scorer(kind, params));
+                let mut scores = Vec::new();
+                let mut offset = series.data.len();
+                for s in &series.data[warm..] {
+                    if let Some(out) = fork.step(s) {
+                        if scores.is_empty() {
+                            offset = out.t;
+                        }
+                        scores.push(out.anomaly_score);
+                    }
+                }
+                let labels = &series.labels[offset..];
+                let fork_train = fork.train_time().as_secs_f64();
+                // Post-fork fine-tune cost is scorer-specific; the shared
+                // warm-up cost was already counted once above.
+                group_train += fork_train - base_train;
+                per_scorer[k].push(metrics_row(&scores, labels, window, fork_train));
+            }
+        }
+    }
+    GroupEval {
+        rows: per_scorer.iter().map(|rows| EvalRow::mean(rows)).collect(),
+        shared_pass,
+        train_seconds: group_train,
+    }
+}
+
 /// Runs `spec` with anomaly scorer `score` over every series of `corpus`
 /// and returns the corpus-averaged metric row.
+///
+/// Single-scorer special case of [`evaluate_spec_scorers`]; the fan-out
+/// machinery degenerates to the legacy one-detector-one-scorer loop and
+/// reproduces it bitwise.
 pub fn evaluate_spec(
     spec: AlgorithmSpec,
     params: &BuildParams,
     corpus: &Corpus,
     score: ScoreKind,
 ) -> EvalRow {
-    let n_thresholds = 40;
-    let rows: Vec<EvalRow> = corpus
-        .series
-        .iter()
-        .map(|series| {
-            let p = params.clone().with_score(score);
-            let mut detector = build_detector(spec, &p);
-            let (scores, offset) = detector.score_series(&series.data);
-            let labels = &series.labels[offset..];
-            debug_assert_eq!(scores.len(), labels.len());
-            let (_th, precision, recall, _f1) = best_f1(&scores, labels, n_thresholds);
-            let auc = pr_auc(&scores, labels, n_thresholds);
-            let vus = vus_pr(&scores, labels, params.config.window, n_thresholds);
-            // NAB gets its own best operating point, symmetric with the
-            // best-F1 treatment of precision/recall (the paper does not
-            // state its thresholding rule).
-            let (_nab_th, report) = best_nab(&scores, labels, n_thresholds);
-            EvalRow {
-                precision,
-                recall,
-                auc,
-                vus,
-                nab: report.score,
-                train_seconds: detector.train_time().as_secs_f64(),
-            }
-        })
-        .collect();
-    EvalRow::mean(&rows)
+    evaluate_spec_scorers(spec, params, corpus, &[score]).rows[0]
 }
 
 #[cfg(test)]
@@ -162,6 +264,93 @@ mod tests {
         assert!((0.0..=1.0).contains(&row.auc));
         assert!((0.0..=1.0).contains(&row.vus));
         assert!(row.nab.is_finite());
+    }
+
+    /// Replicates the pre-fan-out evaluation loop (one detector per
+    /// scorer, `score_series`) as the parity reference.
+    fn legacy_evaluate(
+        spec: AlgorithmSpec,
+        params: &BuildParams,
+        corpus: &sad_data::Corpus,
+        score: ScoreKind,
+    ) -> EvalRow {
+        let rows: Vec<EvalRow> = corpus
+            .series
+            .iter()
+            .map(|series| {
+                let p = params.clone().with_score(score);
+                let mut detector = build_detector(spec, &p);
+                let (scores, offset) = detector.score_series(&series.data);
+                let labels = &series.labels[offset..];
+                metrics_row(&scores, labels, params.config.window, detector.train_time().as_secs_f64())
+            })
+            .collect();
+        EvalRow::mean(&rows)
+    }
+
+    fn assert_rows_bitwise(a: &EvalRow, b: &EvalRow, what: &str) {
+        assert_eq!(a.precision.to_bits(), b.precision.to_bits(), "{what}: precision");
+        assert_eq!(a.recall.to_bits(), b.recall.to_bits(), "{what}: recall");
+        assert_eq!(a.auc.to_bits(), b.auc.to_bits(), "{what}: auc");
+        assert_eq!(a.vus.to_bits(), b.vus.to_bits(), "{what}: vus");
+        assert_eq!(a.nab.to_bits(), b.nab.to_bits(), "{what}: nab");
+        // train_seconds is wall-clock telemetry: excluded on purpose.
+    }
+
+    #[test]
+    fn group_eval_matches_legacy_per_scorer_runs_bitwise() {
+        use sad_core::Task1;
+        let mut cp = CorpusParams::small();
+        cp.length = 700;
+        cp.n_series = 2;
+        let corpus = daphnet_like(2, cp);
+        let config = DetectorConfig {
+            window: 8,
+            channels: corpus.series[0].channels(),
+            warmup: 250,
+            initial_epochs: 2,
+            fine_tune_epochs: 1,
+        };
+        let bp = BuildParams::new(config).with_capacity(20).with_kswin_stride(5);
+        let kinds = [ScoreKind::Raw, ScoreKind::Average, ScoreKind::AnomalyLikelihood];
+        // One feedback-free spec (shared pass) and one ARES spec
+        // (warm-up-share fork path).
+        let shared_spec = paper_algorithms()
+            .into_iter()
+            .find(|s| s.task1 == Task1::SlidingWindow)
+            .unwrap();
+        let ares_spec = paper_algorithms()
+            .into_iter()
+            .find(|s| s.task1 == Task1::AnomalyAwareReservoir)
+            .unwrap();
+        for (spec, expect_shared) in [(shared_spec, true), (ares_spec, false)] {
+            let group = evaluate_spec_scorers(spec, &bp, &corpus, &kinds);
+            assert_eq!(group.shared_pass, expect_shared, "{}", spec.label());
+            assert_eq!(group.rows.len(), kinds.len());
+            assert!(group.train_seconds >= 0.0);
+            for (k, &kind) in kinds.iter().enumerate() {
+                let legacy = legacy_evaluate(spec, &bp, &corpus, kind);
+                assert_rows_bitwise(
+                    &group.rows[k],
+                    &legacy,
+                    &format!("{} / {kind:?}", spec.label()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_spec_is_single_scorer_group() {
+        let mut cp = CorpusParams::small();
+        cp.length = 600;
+        cp.n_series = 1;
+        let corpus = daphnet_like(2, cp);
+        let bp = harness_params(corpus.series[0].channels(), HarnessScale::Quick);
+        let spec = paper_algorithms()[0];
+        let single = evaluate_spec(spec, &bp, &corpus, ScoreKind::Average);
+        let group = evaluate_spec_scorers(spec, &bp, &corpus, &[ScoreKind::Average]);
+        assert!(group.shared_pass);
+        assert_rows_bitwise(&single, &group.rows[0], "single-scorer delegation");
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! The shared (spec × corpus × scorer) evaluation grid behind Table III.
 //!
-//! [`run_grid`] flattens the full cross product into independent cells and
-//! executes them on a [`JobPool`]. Cell order is fixed (spec-major, then
-//! corpus, then scorer) and results come back in that order regardless of
-//! worker count, so table assembly downstream is purely positional — and
-//! parallel output is byte-identical to serial output.
+//! [`run_grid`] schedules one job per `(spec, corpus)` **group** on a
+//! [`JobPool`]; inside each group the scorer dimension is fanned out
+//! through a single shared detector pass per series
+//! ([`crate::eval::evaluate_spec_scorers`]), so the grid streams each
+//! series once instead of once per scorer. Group results are scattered
+//! back into the legacy per-cell layout: cell order stays fixed
+//! (spec-major, then corpus, then scorer) and results come back in that
+//! order regardless of worker count, so table assembly downstream is
+//! purely positional — and parallel output is byte-identical to serial
+//! output, which in turn is byte-identical to the pre-fan-out per-cell
+//! grid.
 
-use crate::eval::{evaluate_spec, harness_params, EvalRow, HarnessScale};
+use crate::eval::{evaluate_spec_scorers, harness_params, EvalRow, GroupEval, HarnessScale};
 use crate::parallel::{JobPool, JobReport};
 use sad_core::{AlgorithmSpec, ScoreKind};
 use sad_data::Corpus;
@@ -19,8 +25,22 @@ pub struct GridRun {
     /// Human-readable label per cell (`spec @ corpus / scorer`), aligned
     /// with `rows` — used for the timing artifact.
     pub labels: Vec<String>,
-    /// Pool telemetry (per-cell wall times, total wall time, worker count).
+    /// Per-cell wall-time view, aligned with `rows`. Cells of one group
+    /// share a detector pass, so each cell reports its group's wall time
+    /// divided by the scorer count (an amortized legacy view; the true
+    /// measured unit is `group_times`).
     pub report_times: Vec<std::time::Duration>,
+    /// Human-readable label per group (`spec @ corpus`), in group order
+    /// (spec-major, then corpus).
+    pub group_labels: Vec<String>,
+    /// Measured wall time per group — the actual scheduling unit.
+    pub group_times: Vec<std::time::Duration>,
+    /// Whether each group's scorer fan-out shared a single detector pass
+    /// per series (`false` for anomaly-feedback strategies, which share
+    /// only the warm-up).
+    pub group_shared: Vec<bool>,
+    /// True training seconds per group (shared work counted once).
+    pub group_train_seconds: Vec<f64>,
     /// End-to-end wall time of the grid run.
     pub wall_time: std::time::Duration,
     /// Worker threads used.
@@ -33,10 +53,10 @@ impl GridRun {
         self.rows[cell_index(spec_idx, corpus_idx, scorer_idx, dims)]
     }
 
-    /// Sum of per-cell wall times (see `JobReport::cpu_time` for the
+    /// Sum of per-group wall times (see `JobReport::cpu_time` for the
     /// oversubscription caveat).
     pub fn cpu_time(&self) -> std::time::Duration {
-        self.report_times.iter().sum()
+        self.group_times.iter().sum()
     }
 }
 
@@ -56,9 +76,19 @@ pub fn cell_index(spec_idx: usize, corpus_idx: usize, scorer_idx: usize, dims: G
     (spec_idx * dims.corpora + corpus_idx) * dims.scorers + scorer_idx
 }
 
-/// Evaluates every `(spec, corpus, scorer)` cell of the grid on `pool`.
+/// Flat index of the `(spec_idx, corpus_idx)` group — spec-major, then
+/// corpus. Groups in this order, each expanded over the scorer dimension,
+/// reproduce [`cell_index`] order exactly, which is what lets group
+/// results be concatenated straight into the per-cell layout.
+#[inline]
+pub fn group_index(spec_idx: usize, corpus_idx: usize, dims: GridDims) -> usize {
+    spec_idx * dims.corpora + corpus_idx
+}
+
+/// Evaluates the grid on `pool`, one job per `(spec, corpus)` group with
+/// the scorer dimension fanned out inside the job.
 ///
-/// Each cell is a pure function of its index: it derives its own
+/// Each group is a pure function of its index: it derives its own
 /// [`harness_params`] and seeds its own detectors, so execution order
 /// cannot leak into the results.
 pub fn run_grid(
@@ -69,27 +99,55 @@ pub fn run_grid(
     pool: JobPool,
 ) -> GridRun {
     let dims = GridDims { corpora: corpora.len(), scorers: scorers.len() };
-    let n_cells = specs.len() * corpora.len() * scorers.len();
+    let n_groups = specs.len() * corpora.len();
 
-    let JobReport { results, job_times, wall_time, jobs_used } = pool.run(n_cells, |cell| {
-        let scorer_idx = cell % dims.scorers;
-        let corpus_idx = (cell / dims.scorers) % dims.corpora;
-        let spec_idx = cell / (dims.scorers * dims.corpora);
+    let JobReport { results, job_times, wall_time, jobs_used } = pool.run(n_groups, |group| {
+        let corpus_idx = group % dims.corpora;
+        let spec_idx = group / dims.corpora;
         let corpus = &corpora[corpus_idx];
         let params = harness_params(corpus.series[0].channels(), scale);
-        evaluate_spec(specs[spec_idx], &params, corpus, scorers[scorer_idx])
+        evaluate_spec_scorers(specs[spec_idx], &params, corpus, scorers)
     });
 
+    // Scatter group rows into the per-cell layout. Group order expanded
+    // over scorers IS cell order, so this is a flat concatenation.
+    let n_cells = n_groups * dims.scorers;
+    let mut rows = Vec::with_capacity(n_cells);
+    let mut report_times = Vec::with_capacity(n_cells);
+    let mut group_shared = Vec::with_capacity(n_groups);
+    let mut group_train_seconds = Vec::with_capacity(n_groups);
+    for (group, eval) in results.into_iter().enumerate() {
+        let GroupEval { rows: group_rows, shared_pass, train_seconds } = eval;
+        debug_assert_eq!(group_rows.len(), dims.scorers);
+        rows.extend(group_rows);
+        let amortized = job_times[group] / dims.scorers.max(1) as u32;
+        report_times.extend(std::iter::repeat_n(amortized, dims.scorers));
+        group_shared.push(shared_pass);
+        group_train_seconds.push(train_seconds);
+    }
+
     let mut labels = Vec::with_capacity(n_cells);
+    let mut group_labels = Vec::with_capacity(n_groups);
     for spec in specs {
         for corpus in corpora {
+            group_labels.push(format!("{} @ {}", spec.label(), corpus.name));
             for scorer in scorers {
                 labels.push(format!("{} @ {} / {}", spec.label(), corpus.name, scorer.label()));
             }
         }
     }
 
-    GridRun { rows: results, labels, report_times: job_times, wall_time, jobs_used }
+    GridRun {
+        rows,
+        labels,
+        report_times,
+        group_labels,
+        group_times: job_times,
+        group_shared,
+        group_train_seconds,
+        wall_time,
+        jobs_used,
+    }
 }
 
 #[cfg(test)]
@@ -114,15 +172,19 @@ mod tests {
 
     #[test]
     fn cell_index_inverts_the_pool_mapping() {
-        // The decomposition inside `run_grid` must invert `cell_index`.
+        // The group decomposition inside `run_grid`, expanded over the
+        // scorer dimension, must invert `cell_index`.
         let dims = GridDims { corpora: 3, scorers: 2 };
         for spec_idx in 0..5 {
             for corpus_idx in 0..3 {
+                let group = group_index(spec_idx, corpus_idx, dims);
+                assert_eq!(group % dims.corpora, corpus_idx);
+                assert_eq!(group / dims.corpora, spec_idx);
                 for scorer_idx in 0..2 {
                     let cell = cell_index(spec_idx, corpus_idx, scorer_idx, dims);
-                    assert_eq!(cell % dims.scorers, scorer_idx);
-                    assert_eq!((cell / dims.scorers) % dims.corpora, corpus_idx);
-                    assert_eq!(cell / (dims.scorers * dims.corpora), spec_idx);
+                    // Concatenating group rows in group order lands each
+                    // scorer row exactly at its cell index.
+                    assert_eq!(cell, group * dims.scorers + scorer_idx);
                 }
             }
         }

@@ -21,8 +21,10 @@ pub mod grid;
 pub mod parallel;
 pub mod timing;
 
-pub use eval::{evaluate_spec, harness_params, EvalRow, HarnessScale};
+pub use eval::{
+    evaluate_spec, evaluate_spec_scorers, harness_params, EvalRow, GroupEval, HarnessScale,
+};
 pub use fmt::Table;
-pub use grid::{cell_index, run_grid, GridDims, GridRun};
+pub use grid::{cell_index, group_index, run_grid, GridDims, GridRun};
 pub use parallel::{available_workers, HarnessArgs, JobPool, JobReport};
-pub use timing::{CellTiming, TimingArtifact};
+pub use timing::{CellTiming, GroupTiming, TimingArtifact};

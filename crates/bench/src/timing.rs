@@ -21,11 +21,16 @@ pub struct TimingArtifact {
     pub jobs: usize,
     /// End-to-end wall time.
     pub wall_time: Duration,
-    /// Sum of per-cell wall times (serial-equivalent cost when the
+    /// Sum of per-job wall times (serial-equivalent cost when the
     /// workers were not oversubscribed; see `JobReport::cpu_time`).
     pub cpu_time: Duration,
-    /// Per-cell timing breakdown.
+    /// Per-cell timing breakdown (legacy amortized view: cells in one
+    /// shared-pass group report the group's wall time divided by the
+    /// scorer count).
     pub cells: Vec<CellTiming>,
+    /// Per-group timing breakdown — the actual scheduling unit since the
+    /// scorer fan-out. Empty for harnesses that still time per cell.
+    pub groups: Vec<GroupTiming>,
 }
 
 /// Timing of one grid cell.
@@ -39,6 +44,27 @@ pub struct CellTiming {
     /// plus drift-triggered fine-tunes, summed over the corpus's series) —
     /// the share of `wall` governed by the batched NN training path.
     pub train_seconds: f64,
+}
+
+/// Timing of one `(spec, corpus)` group — the shared-pass scheduling unit
+/// introduced by the scorer fan-out.
+#[derive(Debug, Clone)]
+pub struct GroupTiming {
+    /// Group label (`spec @ corpus`).
+    pub label: String,
+    /// Measured end-to-end group wall time (one shared detector pass per
+    /// series covering every scorer, or warm-up-shared forks for
+    /// anomaly-feedback strategies).
+    pub wall: Duration,
+    /// True training seconds of the group (shared work counted once —
+    /// unlike summing the per-cell `train_seconds` telemetry, which
+    /// repeats the shared pass per scorer).
+    pub train_seconds: f64,
+    /// Whether the group's scorers shared a single detector pass per
+    /// series.
+    pub shared_pass: bool,
+    /// Number of scorers fanned out inside the group.
+    pub scorers: usize,
 }
 
 impl TimingArtifact {
@@ -59,12 +85,29 @@ impl TimingArtifact {
             "  \"concurrency\": {:.3},\n",
             self.cpu_time.as_secs_f64() / self.wall_time.as_secs_f64().max(1e-12)
         ));
-        // Total model-training share across all cells (the hot loop the
-        // batched NN path optimizes).
-        out.push_str(&format!(
-            "  \"train_seconds_total\": {:.6},\n",
+        // Total model-training share (the hot loop the batched NN path
+        // optimizes). Groups count shared work once, so when group timings
+        // exist they are the truthful total; the per-cell sum repeats the
+        // shared pass per scorer and is only used for legacy artifacts.
+        let train_total = if self.groups.is_empty() {
             self.cells.iter().map(|c| c.train_seconds).sum::<f64>()
-        ));
+        } else {
+            self.groups.iter().map(|g| g.train_seconds).sum::<f64>()
+        };
+        out.push_str(&format!("  \"train_seconds_total\": {train_total:.6},\n"));
+        out.push_str("  \"groups\": [\n");
+        for (i, group) in self.groups.iter().enumerate() {
+            let comma = if i + 1 == self.groups.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"seconds\": {:.6}, \"train_seconds\": {:.6}, \"shared_pass\": {}, \"scorers\": {}}}{comma}\n",
+                json_string(&group.label),
+                group.wall.as_secs_f64(),
+                group.train_seconds,
+                group.shared_pass,
+                group.scorers,
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
             let comma = if i + 1 == self.cells.len() { "" } else { "," };
@@ -132,7 +175,29 @@ mod tests {
                     train_seconds: 0.5,
                 },
             ],
+            groups: Vec::new(),
         }
+    }
+
+    fn grouped_artifact() -> TimingArtifact {
+        let mut a = artifact();
+        a.groups = vec![
+            GroupTiming {
+                label: "ARIMA @ daphnet-like".into(),
+                wall: Duration::from_millis(1200),
+                train_seconds: 0.25,
+                shared_pass: true,
+                scorers: 3,
+            },
+            GroupTiming {
+                label: "AE / ARES @ smd-like".into(),
+                wall: Duration::from_millis(600),
+                train_seconds: 0.125,
+                shared_pass: false,
+                scorers: 3,
+            },
+        ];
+        a
     }
 
     #[test]
@@ -152,6 +217,30 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn group_timings_serialize_and_own_the_train_total() {
+        let json = grouped_artifact().to_json();
+        for needle in [
+            "\"groups\": [",
+            "\"label\": \"ARIMA @ daphnet-like\"",
+            "\"shared_pass\": true",
+            "\"shared_pass\": false",
+            "\"scorers\": 3",
+            // Groups count shared work once: 0.25 + 0.125, not the
+            // per-cell 0.75.
+            "\"train_seconds_total\": 0.375000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn cell_only_artifact_keeps_legacy_train_total() {
+        let json = artifact().to_json();
+        assert!(json.contains("\"train_seconds_total\": 0.750000"));
+        assert!(json.contains("\"groups\": [\n  ],"), "empty groups array present:\n{json}");
     }
 
     #[test]

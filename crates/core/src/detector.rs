@@ -18,7 +18,7 @@ use crate::drift::DriftDetector;
 use crate::model::StreamModel;
 use crate::nonconformity::nonconformity;
 use crate::repr::{DataRepresentation, RawWindow};
-use crate::score::AnomalyScorer;
+use crate::score::{AnomalyScorer, ScorerBank};
 use crate::strategy::TrainingSetStrategy;
 
 /// Static configuration of a [`Detector`].
@@ -62,6 +62,17 @@ pub struct StepOutput {
     pub drift: bool,
     /// Whether the model was fine-tuned at this step.
     pub fine_tuned: bool,
+}
+
+/// Result of a single-pass multi-scorer stream ([`Detector::run_fanout`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutRun {
+    /// One full score trace per bank scorer, in bank order:
+    /// `traces[k][i]` is scorer `k`'s score for stream step `offset + i`.
+    pub traces: Vec<Vec<f64>>,
+    /// Stream step of the first post-warm-up output (`series.len()` when
+    /// the series ended inside warm-up, leaving all traces empty).
+    pub offset: usize,
 }
 
 /// A complete streaming anomaly detector.
@@ -119,6 +130,42 @@ impl Detector {
     /// # Panics
     /// Panics if `s.len() != config.channels`.
     pub fn step(&mut self, s: &[f64]) -> Option<StepOutput> {
+        self.advance(s, None)
+    }
+
+    /// Feeds one stream vector and **tees the nonconformity score into a
+    /// scorer bank**: one detector pass produces one anomaly score per
+    /// bank scorer (written to `out` in bank order) on top of the
+    /// detector's own [`StepOutput`].
+    ///
+    /// The detector's embedded scorer remains the *driver*: its `f_t` is
+    /// what feeds the Task-1 strategy, exactly as in [`Self::step`], so
+    /// the detector trajectory is unchanged. During warm-up the bank is
+    /// not touched (scorers see their first `a_t` at the same step they
+    /// would in a standalone run) and `out` is cleared.
+    ///
+    /// When [`Self::scorer_feedback_free`] holds, each bank scorer's trace
+    /// is bitwise identical to a standalone per-scorer detector run; with
+    /// an anomaly-feedback strategy (ARES) the teed traces are still
+    /// well-defined but correspond to the *driver's* trajectory.
+    pub fn step_fanout(
+        &mut self,
+        s: &[f64],
+        bank: &mut ScorerBank,
+        out: &mut Vec<f64>,
+    ) -> Option<StepOutput> {
+        let output = self.advance(s, Some((bank, out)));
+        if output.is_none() {
+            out.clear();
+        }
+        output
+    }
+
+    fn advance(
+        &mut self,
+        s: &[f64],
+        bank: Option<(&mut ScorerBank, &mut Vec<f64>)>,
+    ) -> Option<StepOutput> {
         let t = self.t;
         self.t += 1;
         let x = self.repr.push(s);
@@ -146,6 +193,9 @@ impl Detector {
         let output = self.model.predict(&x);
         let a_t = nonconformity(&x, &output);
         let f_t = self.scorer.update(a_t);
+        if let Some((bank, out)) = bank {
+            bank.update_into(a_t, out);
+        }
         let update = self.strategy.update(&x, f_t);
         let drift = self.drift.observe(&x, &update, self.strategy.training_set());
         let mut fine_tuned = false;
@@ -175,12 +225,59 @@ impl Detector {
         series.iter().filter_map(|s| self.step(s)).collect()
     }
 
+    /// Streams a whole series **once** and returns one full score trace per
+    /// bank scorer (see [`Self::step_fanout`]).
+    ///
+    /// `traces[k][i]` is bank scorer `k`'s anomaly score for stream step
+    /// `offset + i`; `offset` is the first post-warm-up step (or
+    /// `series.len()` if warm-up never completed).
+    pub fn run_fanout(&mut self, series: &[Vec<f64>], bank: &mut ScorerBank) -> FanoutRun {
+        let mut traces: Vec<Vec<f64>> = (0..bank.len()).map(|_| Vec::new()).collect();
+        let mut offset = series.len();
+        let mut step_scores = Vec::with_capacity(bank.len());
+        for s in series {
+            if let Some(out) = self.step_fanout(s, bank, &mut step_scores) {
+                offset = offset.min(out.t);
+                for (trace, &f) in traces.iter_mut().zip(&step_scores) {
+                    trace.push(f);
+                }
+            }
+        }
+        FanoutRun { traces, offset }
+    }
+
     /// Scores a whole labelled series and returns `(scores, offset)` where
     /// `scores[i]` is the anomaly score for stream step `offset + i`.
     pub fn score_series(&mut self, series: &[Vec<f64>]) -> (Vec<f64>, usize) {
         let outputs = self.run(series);
         let offset = outputs.first().map_or(series.len(), |o| o.t);
         (outputs.into_iter().map(|o| o.anomaly_score).collect(), offset)
+    }
+
+    /// Whether the detector trajectory is provably independent of the
+    /// anomaly scoring function.
+    ///
+    /// True when the Task-1 strategy ignores `f_t` (see
+    /// [`TrainingSetStrategy::uses_anomaly_feedback`]): the nonconformity
+    /// stream, training set, drift triggers and fine-tunes are then a pure
+    /// function of the input series, and one [`Self::run_fanout`] pass
+    /// reproduces every per-scorer run bitwise.
+    pub fn scorer_feedback_free(&self) -> bool {
+        !self.strategy.uses_anomaly_feedback()
+    }
+
+    /// Replaces the anomaly scorer.
+    ///
+    /// Intended for the warm-up-sharing evaluation path: the scorer is
+    /// never consulted during warm-up (`f_t` is fixed to 0), so a detector
+    /// can be warmed up once, cloned per scorer, and each clone handed its
+    /// own fresh scorer — each clone is then bitwise identical to a
+    /// detector built with that scorer from the start.
+    ///
+    /// Swapping a scorer that has already accumulated state discards that
+    /// state; post-warm-up callers should know what they are doing.
+    pub fn set_scorer(&mut self, scorer: Box<dyn AnomalyScorer>) {
+        self.scorer = scorer;
     }
 
     /// Disables fine-tuning: drift is still detected and recorded, but the
@@ -347,6 +444,136 @@ mod tests {
         let (scores, offset) = det.score_series(&smooth_series(70));
         assert_eq!(offset, 25);
         assert_eq!(scores.len(), 45);
+    }
+
+    /// Fan-out over a feedback-free strategy (SW) reproduces each
+    /// standalone per-scorer run bitwise from one detector pass.
+    #[test]
+    fn fanout_traces_match_standalone_runs_bitwise() {
+        use crate::score::{AnomalyLikelihood, RawScore, ScorerBank};
+        let series = smooth_series(120);
+        let config = DetectorConfig {
+            window: 5,
+            channels: 2,
+            warmup: 30,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        let build = |scorer: Box<dyn AnomalyScorer>| {
+            Detector::new(
+                config.clone(),
+                Box::new(LastValueModel::default()),
+                Box::new(SlidingWindowSet::new(10)),
+                Box::new(MuSigmaChange::new()),
+                scorer,
+            )
+        };
+
+        let mut shared = build(Box::new(RawScore));
+        assert!(shared.scorer_feedback_free());
+        let mut bank = ScorerBank::new(vec![
+            Box::new(RawScore),
+            Box::new(MovingAverage::new(5)),
+            Box::new(AnomalyLikelihood::new(20, 3)),
+        ]);
+        let fanout = shared.run_fanout(&series, &mut bank);
+        assert_eq!(fanout.offset, 30);
+        assert_eq!(fanout.traces.len(), 3);
+
+        let standalone: [Box<dyn AnomalyScorer>; 3] = [
+            Box::new(RawScore),
+            Box::new(MovingAverage::new(5)),
+            Box::new(AnomalyLikelihood::new(20, 3)),
+        ];
+        for (k, scorer) in standalone.into_iter().enumerate() {
+            let mut det = build(scorer);
+            let (scores, offset) = det.score_series(&series);
+            assert_eq!(offset, fanout.offset);
+            assert_eq!(scores.len(), fanout.traces[k].len());
+            for (i, (a, b)) in scores.iter().zip(&fanout.traces[k]).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "scorer {k}, step {i}");
+            }
+        }
+    }
+
+    /// Warm-up sharing: warming one detector, cloning it and swapping in a
+    /// fresh scorer is bitwise identical to building with that scorer from
+    /// the start (the scorer is untouched during warm-up).
+    #[test]
+    fn warmup_clone_plus_set_scorer_matches_fresh_build() {
+        let series = smooth_series(90);
+        let warmup = 25;
+        let mut base = make_detector(warmup);
+        for s in &series[..warmup] {
+            assert!(base.step(s).is_none());
+        }
+        assert!(base.is_warmed_up());
+
+        let mut fork = base.clone();
+        fork.set_scorer(Box::new(RawScore));
+        let forked: Vec<f64> =
+            series[warmup..].iter().filter_map(|s| fork.step(s)).map(|o| o.anomaly_score).collect();
+
+        // Fresh build with RawScore from the start.
+        let config = DetectorConfig {
+            window: 5,
+            channels: 2,
+            warmup,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        let mut fresh = Detector::new(
+            config,
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(10)),
+            Box::new(MuSigmaChange::new()),
+            Box::new(RawScore),
+        );
+        let (scores, offset) = fresh.score_series(&series);
+        assert_eq!(offset, warmup);
+        assert_eq!(scores.len(), forked.len());
+        for (a, b) in scores.iter().zip(&forked) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// ARES feeds `f_t` back into the training set, so the detector must
+    /// report that its trajectory is scorer-dependent.
+    #[test]
+    fn ares_is_not_scorer_feedback_free() {
+        use crate::strategy::{AnomalyAwareReservoir, UniformReservoir};
+        let config = DetectorConfig {
+            window: 5,
+            channels: 2,
+            warmup: 20,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        let build = |strategy: Box<dyn TrainingSetStrategy>| {
+            Detector::new(
+                config.clone(),
+                Box::new(LastValueModel::default()),
+                strategy,
+                Box::new(MuSigmaChange::new()),
+                Box::new(RawScore),
+            )
+        };
+        assert!(!build(Box::new(AnomalyAwareReservoir::new(10, 1))).scorer_feedback_free());
+        assert!(build(Box::new(UniformReservoir::new(10, 1))).scorer_feedback_free());
+        assert!(build(Box::new(SlidingWindowSet::new(10))).scorer_feedback_free());
+    }
+
+    /// A series ending inside warm-up yields empty traces and
+    /// `offset == series.len()`, mirroring `score_series`.
+    #[test]
+    fn fanout_on_warmup_only_series_is_empty() {
+        use crate::score::ScorerBank;
+        let mut det = make_detector(50);
+        let series = smooth_series(30);
+        let mut bank = ScorerBank::new(vec![Box::new(RawScore)]);
+        let run = det.run_fanout(&series, &mut bank);
+        assert_eq!(run.offset, 30);
+        assert_eq!(run.traces, vec![Vec::<f64>::new()]);
     }
 
     #[test]

@@ -208,6 +208,9 @@ pub struct KswinDetector {
     snapshot: Vec<Vec<f64>>,
     current: Vec<Vec<f64>>,
     ops: OpCount,
+    /// Count of removal requests for values not actually present in the
+    /// sorted multiset (see [`Self::removal_misses`]).
+    removal_misses: u64,
 }
 
 impl KswinDetector {
@@ -233,7 +236,17 @@ impl KswinDetector {
             snapshot: Vec::new(),
             current: Vec::new(),
             ops: OpCount::default(),
+            removal_misses: 0,
         }
+    }
+
+    /// How many times a caller asked to remove a value that was not in the
+    /// sorted multiset. Always 0 when the detector is driven by a
+    /// well-behaved Task-1 strategy (every `Replaced.removed` vector was
+    /// previously inserted verbatim); a non-zero count flags a strategy
+    /// bug without corrupting the multiset (the bogus removal is skipped).
+    pub fn removal_misses(&self) -> u64 {
+        self.removal_misses
     }
 
     fn ensure_channels(&mut self, n: usize) {
@@ -248,16 +261,28 @@ impl KswinDetector {
         channel.insert(idx, value);
     }
 
-    fn remove_sorted(channel: &mut Vec<f64>, value: f64, ops: &mut OpCount) {
+    /// Removes one occurrence of `value` from the sorted channel; returns
+    /// `false` when the value is genuinely absent.
+    ///
+    /// The value was previously inserted verbatim, so exact float equality
+    /// holds on the fast path. A miss used to `debug_assert!(false)` —
+    /// which silently *skipped or corrupted nothing but hid the bug* in
+    /// release builds; it now degrades to a bit-pattern scan (covers
+    /// orderings `partition_point` cannot see, e.g. NaN payloads) and
+    /// reports the outcome so the caller can log and count the anomaly
+    /// instead of silently desynchronizing the multiset.
+    fn remove_sorted(channel: &mut Vec<f64>, value: f64, ops: &mut OpCount) -> bool {
         let idx = channel.partition_point(|&v| v < value);
         ops.comparisons += (channel.len().max(2) as f64).log2().ceil() as u64;
-        // The value was previously inserted verbatim, so exact float
-        // equality holds here.
         if idx < channel.len() && channel[idx] == value {
             channel.remove(idx);
-        } else {
-            debug_assert!(false, "KSWIN removal of a value not present");
+            return true;
         }
+        if let Some(pos) = channel.iter().position(|v| v.to_bits() == value.to_bits()) {
+            channel.remove(pos);
+            return true;
+        }
+        false
     }
 
     fn add_feature_vector(&mut self, x: &FeatureVector) {
@@ -274,7 +299,15 @@ impl KswinDetector {
         let mut ops = OpCount::default();
         for j in 0..x.n() {
             for i in 0..x.w() {
-                Self::remove_sorted(&mut self.current[j], x.step(i)[j], &mut ops);
+                if !Self::remove_sorted(&mut self.current[j], x.step(i)[j], &mut ops) {
+                    if self.removal_misses == 0 {
+                        eprintln!(
+                            "sad-core: KSWIN was asked to remove a value not present in \
+                             channel {j}; skipping (multiset left intact, logged once)"
+                        );
+                    }
+                    self.removal_misses += 1;
+                }
             }
         }
         self.ops += ops;
@@ -549,6 +582,58 @@ mod tests {
         let x = last_x.unwrap();
         let update = strat.update(&x, 0.0);
         assert!(!det.observe(&x, &update, strat.training_set()));
+    }
+
+    /// Regression: a `Replaced.removed` vector that was never inserted
+    /// must not panic (old behaviour in debug builds), must not corrupt
+    /// the multiset (old behaviour in release builds silently removed
+    /// nothing while the caller assumed success), and must be counted.
+    #[test]
+    fn kswin_bogus_removal_is_skipped_and_counted() {
+        let mut det = KswinDetector::new(0.01);
+        let mut strat = SlidingWindowSet::new(5);
+        for t in 0..5 {
+            let x = fv(t as f64);
+            let update = strat.update(&x, 0.0);
+            det.observe(&x, &update, strat.training_set());
+        }
+        let before = det.current.clone();
+        assert_eq!(det.removal_misses(), 0);
+
+        // A replacement whose `removed` vector was never inserted: the
+        // incoming vector is added, the bogus removal is skipped.
+        let incoming = fv(7.0);
+        let bogus = SetUpdate::Replaced { removed: fv(99.0) };
+        det.observe(&incoming, &bogus, strat.training_set());
+        assert_eq!(det.removal_misses(), 8, "one miss per (w x n) element");
+
+        // Every channel gained exactly the incoming values and lost none.
+        for (j, channel) in det.current.iter().enumerate() {
+            let mut expected = before[j].clone();
+            for i in 0..incoming.w() {
+                expected.push(incoming.step(i)[j]);
+            }
+            expected.sort_by(f64::total_cmp);
+            assert_eq!(channel, &expected, "channel {j} must stay a coherent multiset");
+        }
+
+        // A well-formed removal afterwards still works.
+        let fine = SetUpdate::Replaced { removed: fv(0.0) };
+        det.observe(&fv(8.0), &fine, strat.training_set());
+        assert_eq!(det.removal_misses(), 8, "valid removal adds no misses");
+    }
+
+    /// The degraded scan finds bit-identical values even when
+    /// `partition_point` cannot (NaN sorts nowhere in `<` order).
+    #[test]
+    fn kswin_remove_sorted_falls_back_to_bit_scan() {
+        let mut ops = OpCount::default();
+        let mut channel = vec![1.0, 2.0, f64::NAN, 3.0];
+        assert!(KswinDetector::remove_sorted(&mut channel, f64::NAN, &mut ops));
+        assert_eq!(channel.iter().filter(|v| v.is_nan()).count(), 0);
+        assert_eq!(channel.len(), 3);
+        assert!(!KswinDetector::remove_sorted(&mut channel, 9.0, &mut ops));
+        assert_eq!(channel.len(), 3);
     }
 
     /// The Unchanged update (reservoir rejection) must not mutate the

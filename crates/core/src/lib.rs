@@ -35,13 +35,13 @@ pub mod repr;
 pub mod score;
 pub mod strategy;
 
-pub use detector::{Detector, DetectorConfig, StepOutput};
+pub use detector::{Detector, DetectorConfig, FanoutRun, StepOutput};
 pub use drift::{DriftDetector, KswinDetector, MuSigmaChange, RegularInterval};
 pub use model::{ModelOutput, StreamModel};
 pub use nonconformity::{nonconformity, NonconformityKind};
 pub use registry::{paper_algorithms, AlgorithmSpec, ModelKind, ScoreKind, Task1, Task2};
 pub use repr::{DataRepresentation, FeatureVector, RawWindow};
-pub use score::{AnomalyLikelihood, AnomalyScorer, MovingAverage, RawScore};
+pub use score::{AnomalyLikelihood, AnomalyScorer, MovingAverage, RawScore, ScorerBank};
 pub use strategy::{
     AnomalyAwareReservoir, SetUpdate, SlidingWindowSet, TrainingSetStrategy, UniformReservoir,
 };

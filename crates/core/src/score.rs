@@ -31,6 +31,66 @@ impl Clone for Box<dyn AnomalyScorer> {
     }
 }
 
+/// A bank of independent anomaly scorers fed from one nonconformity
+/// stream.
+///
+/// Definition III.4 makes the anomaly scoring function a pure
+/// post-processing stage over `a_t`: scorers never feed back into the
+/// nonconformity computation. A bank exploits that — the detector streams
+/// the series **once** and tees each per-step `a_t` into every scorer,
+/// producing one score trace per scorer from a single (expensive) detector
+/// pass. Each scorer in the bank evolves exactly as it would in its own
+/// detector, so the traces are bitwise identical to per-scorer runs
+/// whenever the detector trajectory itself is scorer-independent (see
+/// [`crate::TrainingSetStrategy::uses_anomaly_feedback`]).
+#[derive(Clone, Default)]
+pub struct ScorerBank {
+    scorers: Vec<Box<dyn AnomalyScorer>>,
+}
+
+impl ScorerBank {
+    /// Creates a bank over the given scorers (order is preserved).
+    pub fn new(scorers: Vec<Box<dyn AnomalyScorer>>) -> Self {
+        Self { scorers }
+    }
+
+    /// Number of scorers in the bank.
+    pub fn len(&self) -> usize {
+        self.scorers.len()
+    }
+
+    /// `true` when the bank holds no scorers.
+    pub fn is_empty(&self) -> bool {
+        self.scorers.is_empty()
+    }
+
+    /// Short names of the scorers, in bank order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.scorers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Feeds `a_t` to every scorer, appending one `f_t` per scorer (in
+    /// bank order) to `out`. `out` is cleared first, so it can be reused
+    /// across steps without reallocating.
+    pub fn update_into(&mut self, a_t: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.scorers.iter_mut().map(|s| s.update(a_t)));
+    }
+
+    /// Resets every scorer in the bank.
+    pub fn reset(&mut self) {
+        for s in &mut self.scorers {
+            s.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for ScorerBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScorerBank").field("scorers", &self.names()).finish()
+    }
+}
+
 /// The raw nonconformity score, unmodified (the paper's "Raw" baseline row
 /// in Table III).
 #[derive(Debug, Clone, Default)]
@@ -232,6 +292,42 @@ mod tests {
     #[should_panic(expected = "need 1 <= k' < k")]
     fn bad_likelihood_windows_panic() {
         let _ = AnomalyLikelihood::new(5, 5);
+    }
+
+    #[test]
+    fn bank_matches_independent_scorers_bitwise() {
+        let mut bank = ScorerBank::new(vec![
+            Box::new(RawScore),
+            Box::new(MovingAverage::new(7)),
+            Box::new(AnomalyLikelihood::new(20, 4)),
+        ]);
+        let mut raw = RawScore;
+        let mut avg = MovingAverage::new(7);
+        let mut al = AnomalyLikelihood::new(20, 4);
+        let mut out = Vec::new();
+        for i in 0..100 {
+            let a = ((i * 37) % 100) as f64 / 100.0;
+            bank.update_into(a, &mut out);
+            assert_eq!(out.len(), 3);
+            assert_eq!(out[0].to_bits(), raw.update(a).to_bits());
+            assert_eq!(out[1].to_bits(), avg.update(a).to_bits());
+            assert_eq!(out[2].to_bits(), al.update(a).to_bits());
+        }
+    }
+
+    #[test]
+    fn bank_reset_and_names() {
+        let mut bank =
+            ScorerBank::new(vec![Box::new(MovingAverage::new(3)), Box::new(RawScore)]);
+        assert_eq!(bank.names(), vec!["Avg", "Raw"]);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.is_empty());
+        let mut out = Vec::new();
+        bank.update_into(0.9, &mut out);
+        bank.reset();
+        bank.update_into(0.3, &mut out);
+        // After reset the moving average starts over: a single sample.
+        assert!((out[0] - 0.3).abs() < 1e-12);
     }
 
     mod props {

@@ -45,6 +45,19 @@ pub trait TrainingSetStrategy {
     /// Offers `x_t` (with its anomaly score `f_t`) to the training set.
     fn update(&mut self, x: &FeatureVector, anomaly_score: f64) -> SetUpdate;
 
+    /// Whether [`Self::update`] actually reads the anomaly score `f_t`.
+    ///
+    /// Strategies that ignore `f_t` (sliding window, uniform reservoir)
+    /// make the whole detector trajectory — model, training set, drift
+    /// triggers, fine-tunes, nonconformity stream — independent of the
+    /// anomaly scoring function, which is what lets the evaluation
+    /// harness tee one detector pass into a [`crate::ScorerBank`] and
+    /// reproduce every per-scorer run bitwise from a single stream.
+    /// Defaults to `true` (the conservative answer).
+    fn uses_anomaly_feedback(&self) -> bool {
+        true
+    }
+
     /// The current training set (order unspecified).
     fn training_set(&self) -> &[FeatureVector];
 
@@ -104,6 +117,10 @@ impl TrainingSetStrategy for SlidingWindowSet {
         SetUpdate::Replaced { removed }
     }
 
+    fn uses_anomaly_feedback(&self) -> bool {
+        false
+    }
+
     fn training_set(&self) -> &[FeatureVector] {
         &self.set
     }
@@ -153,6 +170,10 @@ impl TrainingSetStrategy for UniformReservoir {
         } else {
             SetUpdate::Unchanged
         }
+    }
+
+    fn uses_anomaly_feedback(&self) -> bool {
+        false
     }
 
     fn training_set(&self) -> &[FeatureVector] {
@@ -249,6 +270,14 @@ impl TrainingSetStrategy for AnomalyAwareReservoir {
             }
             None => SetUpdate::Unchanged,
         }
+    }
+
+    /// ARES priorities are a function of `f_t`, so the detector trajectory
+    /// genuinely depends on the anomaly scorer: the shared-pass fan-out
+    /// must not reuse one stream across scorers here (warm-up sharing is
+    /// still sound — `f_t = 0` for every warm-up step).
+    fn uses_anomaly_feedback(&self) -> bool {
+        true
     }
 
     fn training_set(&self) -> &[FeatureVector] {

@@ -9,8 +9,8 @@
 use crate::{NBeats, OnlineArima, PcbIForestModel, TwoLayerAe, Usad};
 use sad_core::{
     AlgorithmSpec, AnomalyLikelihood, AnomalyScorer, Detector, DetectorConfig, DriftDetector,
-    KswinDetector, ModelKind, MovingAverage, MuSigmaChange, RawScore, ScoreKind, StreamModel,
-    Task1, Task2, TrainingSetStrategy,
+    KswinDetector, ModelKind, MovingAverage, MuSigmaChange, RawScore, ScoreKind, ScorerBank,
+    StreamModel, Task1, Task2, TrainingSetStrategy,
 };
 use sad_core::{AnomalyAwareReservoir, SlidingWindowSet, UniformReservoir};
 
@@ -147,6 +147,16 @@ pub fn build_scorer(score: ScoreKind, params: &BuildParams) -> Box<dyn AnomalySc
     }
 }
 
+/// Builds a [`ScorerBank`] holding one fresh scorer per [`ScoreKind`], in
+/// the given order — the fan-out counterpart of [`build_scorer`]. Each
+/// bank scorer is constructed exactly as a standalone detector's scorer
+/// would be, so teeing one nonconformity stream through the bank
+/// reproduces per-scorer runs bitwise (when the detector trajectory is
+/// scorer-independent; see [`Detector::scorer_feedback_free`]).
+pub fn build_scorer_bank(kinds: &[ScoreKind], params: &BuildParams) -> ScorerBank {
+    ScorerBank::new(kinds.iter().map(|&kind| build_scorer(kind, params)).collect())
+}
+
 /// Assembles the full detector for one of the paper's 26 algorithms.
 pub fn build_detector(spec: AlgorithmSpec, params: &BuildParams) -> Detector {
     Detector::new(
@@ -216,6 +226,24 @@ mod tests {
         assert_eq!(model, "USAD");
         assert_eq!(task1, "ARES");
         assert_eq!(task2, spec.task2.label());
+    }
+
+    #[test]
+    fn scorer_bank_mirrors_build_scorer() {
+        let params = tiny_params();
+        let kinds = [ScoreKind::Raw, ScoreKind::Average, ScoreKind::AnomalyLikelihood];
+        let mut bank = build_scorer_bank(&kinds, &params);
+        assert_eq!(bank.names(), vec!["Raw", "Avg", "AL"]);
+        let mut out = Vec::new();
+        let mut standalone: Vec<_> =
+            kinds.iter().map(|&kind| build_scorer(kind, &params)).collect();
+        for i in 0..60 {
+            let a = ((i * 13) % 100) as f64 / 100.0;
+            bank.update_into(a, &mut out);
+            for (k, scorer) in standalone.iter_mut().enumerate() {
+                assert_eq!(out[k].to_bits(), scorer.update(a).to_bits(), "scorer {k}");
+            }
+        }
     }
 
     #[test]

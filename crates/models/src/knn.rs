@@ -46,16 +46,26 @@ impl KnnDistanceModel {
             .sqrt()
     }
 
-    /// Distance from `x` to its k-th nearest neighbour in `set` (skipping
-    /// exact duplicates of `x` itself).
-    fn kth_distance(&self, x: &FeatureVector, set: &[FeatureVector]) -> Option<f64> {
+    /// Distance from `x` to its `k`-th nearest neighbour in `set`.
+    ///
+    /// Uses `select_nth_unstable_by` — an `O(m)` quickselect instead of
+    /// the previous full `O(m log m)` sort; only the `k`-th order
+    /// statistic is needed, and selection returns the identical value
+    /// (`total_cmp` equality is bit equality).
+    fn kth_distance_of(k: usize, x: &FeatureVector, set: &[FeatureVector]) -> Option<f64> {
         if set.is_empty() {
             return None;
         }
         let mut dists: Vec<f64> = set.iter().map(|r| Self::distance(x, r)).collect();
-        dists.sort_by(f64::total_cmp);
-        let idx = (self.k - 1).min(dists.len() - 1);
-        Some(dists[idx])
+        let idx = (k - 1).min(dists.len() - 1);
+        let (_, kth, _) = dists.select_nth_unstable_by(idx, f64::total_cmp);
+        Some(*kth)
+    }
+
+    /// Distance from `x` to its k-th nearest neighbour in `set` (skipping
+    /// exact duplicates of `x` itself).
+    fn kth_distance(&self, x: &FeatureVector, set: &[FeatureVector]) -> Option<f64> {
+        Self::kth_distance_of(self.k, x, set)
     }
 }
 
@@ -75,19 +85,16 @@ impl StreamModel for KnnDistanceModel {
 
     fn fit_initial(&mut self, train: &[FeatureVector], _epochs: usize) {
         self.reference = train.to_vec();
-        // Calibrate: median of within-set kth-neighbour distances.
-        let mut typical: Vec<f64> = train
-            .iter()
-            .filter_map(|x| {
-                // Skip self-distance by asking for the (k+1)-th within the set.
-                let mut model = self.clone();
-                model.k = self.k + 1;
-                model.kth_distance(x, train)
-            })
-            .collect();
+        // Calibrate: median of within-set kth-neighbour distances. Skip
+        // self-distance by asking for the (k+1)-th within the set — the
+        // old code cloned the entire model (reference set included) per
+        // training point just to carry that k+1.
+        let mut typical: Vec<f64> =
+            train.iter().filter_map(|x| Self::kth_distance_of(self.k + 1, x, train)).collect();
         if !typical.is_empty() {
-            typical.sort_by(f64::total_cmp);
-            let median = typical[typical.len() / 2];
+            let mid = typical.len() / 2;
+            let (_, median, _) = typical.select_nth_unstable_by(mid, f64::total_cmp);
+            let median = *median;
             if median > 0.0 {
                 self.scale = median;
             }

@@ -9,14 +9,40 @@
 ///
 /// `q` must be in `[0, 1]`. Returns `None` for an empty slice. Input need
 /// not be sorted.
+///
+/// A single-quantile query needs only two order statistics, so this uses
+/// `select_nth_unstable_by` (`O(n)` quickselect) instead of a full
+/// `O(n log n)` sort. The result is bitwise identical to the sorted path:
+/// `total_cmp` equality is bit equality, so the `⌊pos⌋`-th and `⌈pos⌉`-th
+/// order statistics are the same values either way. Callers needing many
+/// quantiles of one sample should sort once and use [`quantile_sorted`].
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0, 1]");
     if values.is_empty() {
         return None;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    Some(quantile_sorted(&sorted, q))
+    if values.len() == 1 {
+        return Some(values[0]);
+    }
+    let mut scratch = values.to_vec();
+    let pos = q * (scratch.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let frac = pos - lo as f64;
+    let (_, &mut lo_val, upper) = scratch.select_nth_unstable_by(lo, f64::total_cmp);
+    // The `⌈pos⌉`-th order statistic is the minimum of the upper partition
+    // (`upper` holds exactly the elements ranked above `lo`). When
+    // `frac == 0` the sorted path degenerates to `lo + (lo - lo) * 0`;
+    // keep the same arithmetic so even `-0.0` inputs round-trip bitwise.
+    let hi_val = if frac == 0.0 {
+        lo_val
+    } else {
+        upper
+            .iter()
+            .copied()
+            .min_by(f64::total_cmp)
+            .expect("frac > 0 implies pos < n-1, so the upper partition is non-empty")
+    };
+    Some(lo_val + (hi_val - lo_val) * frac)
 }
 
 /// Quantile over an already sorted slice (ascending).
@@ -99,6 +125,20 @@ mod tests {
                 let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
                 let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 prop_assert!(vlo >= min - 1e-12 && vhi <= max + 1e-12);
+            }
+
+            /// The quickselect path is bitwise identical to sorting first
+            /// and interpolating over the sorted slice.
+            #[test]
+            fn selection_matches_sorted_path_bitwise(
+                values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                q in 0.0f64..=1.0,
+            ) {
+                let fast = quantile(&values, q).unwrap();
+                let mut sorted = values.clone();
+                sorted.sort_by(f64::total_cmp);
+                let reference = quantile_sorted(&sorted, q);
+                prop_assert_eq!(fast.to_bits(), reference.to_bits());
             }
         }
     }
