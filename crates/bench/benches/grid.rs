@@ -14,8 +14,8 @@
 //! so its ratio is bounded by the warm-up share of the series.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sad_bench::evaluate_spec_scorers;
-use sad_core::{paper_algorithms, DetectorConfig, ModelKind, ScoreKind, Task1};
+use sad_bench::{evaluate_spec_scorers, evaluate_tree};
+use sad_core::{paper_algorithms, AlgorithmSpec, DetectorConfig, ModelKind, ScoreKind, Task1, Task2};
 use sad_data::{daphnet_like, CorpusParams};
 use sad_models::BuildParams;
 use std::hint::black_box;
@@ -71,5 +71,58 @@ fn bench_group(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_group);
+/// Shared-prefix tree root vs two independent warm-ups.
+///
+/// Measures one `(model, SW)` drift-variant pair evaluated two ways:
+///
+/// * `shared_fit_fork` — the tree path: one warm-up + one `fit_initial`,
+///   forked into the μ/σ and KSWIN arms (what [`sad_bench::run_grid`]
+///   schedules per root since the shared-prefix tree).
+/// * `independent_refit` — the pre-tree protocol: each variant does its
+///   own warm-up + initial fit.
+///
+/// The ratio is the tentpole speedup of this refactor; it grows with the
+/// cost of `fit_initial`, so the AE pair separates further than the
+/// ARIMA pair.
+fn bench_warmup_fork(c: &mut Criterion) {
+    let cp = CorpusParams { length: 900, n_series: 1, anomalies_per_series: 2, with_drift: true };
+    let corpus = daphnet_like(42, cp);
+    let config = DetectorConfig {
+        window: 20,
+        channels: corpus.series[0].channels(),
+        warmup: 300,
+        initial_epochs: 2,
+        fine_tune_epochs: 1,
+    };
+    let params = BuildParams::new(config).with_capacity(40).with_kswin_stride(5);
+    let task2s = [Task2::MuSigma, Task2::Kswin];
+
+    let mut group = c.benchmark_group("warmup_fork_vs_refit");
+    group.sample_size(10);
+    for (name, model) in [("ARIMA-SW", ModelKind::OnlineArima), ("AE-SW", ModelKind::TwoLayerAe)] {
+        group.bench_with_input(BenchmarkId::new("shared_fit_fork", name), &model, |b, &model| {
+            b.iter(|| {
+                black_box(evaluate_tree(
+                    model,
+                    Task1::SlidingWindow,
+                    &task2s,
+                    &params,
+                    &corpus,
+                    &SCORERS,
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("independent_refit", name), &model, |b, &model| {
+            b.iter(|| {
+                for &task2 in &task2s {
+                    let spec = AlgorithmSpec { model, task1: Task1::SlidingWindow, task2 };
+                    black_box(evaluate_spec_scorers(spec, &params, &corpus, &SCORERS));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group, bench_warmup_fork);
 criterion_main!(benches);

@@ -15,37 +15,42 @@
 //!
 //! Each (corpus, μ/σ-spec) pair is one job on the shared
 //! [`sad_bench::JobPool`]: it evaluates the spec *and* its KSWIN sibling
-//! so the pairwise delta stays a pure function of the job index. Output
+//! as ONE shared-prefix tree root ([`sad_bench::evaluate_tree`]) — the
+//! warm-up + initial fit is streamed once and forked per drift variant,
+//! which is exactly the comparison this ablation makes: both detectors
+//! see the identical post-warm-up model and training set by construction.
+//! The pairwise delta stays a pure function of the job index and output
 //! is byte-identical at any `--jobs` value.
 
-use sad_bench::{evaluate_spec, harness_params, HarnessArgs, HarnessScale, Table};
+use sad_bench::{evaluate_tree, harness_params, HarnessArgs, HarnessScale, Table};
 use sad_core::{paper_algorithms, AlgorithmSpec, ModelKind, ScoreKind, Task1, Task2};
 use sad_data::{daphnet_like, exathlon_like, smd_like, CorpusParams};
-use sad_models::build_detector;
+use sad_models::{build_scorer, build_shared_warmup};
+
+/// Both drift variants, μ/σ first — the fork order used throughout.
+const VARIANTS: [Task2; 2] = [Task2::MuSigma, Task2::Kswin];
 
 fn main() {
     let args = HarnessArgs::from_env();
     let cp = CorpusParams { length: 1600, n_series: 1, anomalies_per_series: 3, with_drift: true };
     let corpora = vec![daphnet_like(21, cp), exathlon_like(21, cp), smd_like(21, cp)];
 
-    // Trigger-time comparison on one representative pipeline per corpus.
+    // Trigger-time comparison on one representative pipeline per corpus:
+    // one shared warm-up + AE fit, forked into the μ/σ and KSWIN arms.
     println!("drift trigger times (2-layer AE / SW), first 6 per detector:\n");
     for corpus in &corpora {
         let series = &corpus.series[0];
         let params = harness_params(series.channels(), HarnessScale::Quick);
-        let spec_ms = paper_algorithms()
-            .into_iter()
-            .find(|s| {
-                s.model == ModelKind::TwoLayerAe
-                    && s.task1 == Task1::SlidingWindow
-                    && s.task2 == Task2::MuSigma
-            })
-            .unwrap();
-        let spec_ks = AlgorithmSpec { task2: Task2::Kswin, ..spec_ms };
-        let mut det_ms = build_detector(spec_ms, &params);
-        let mut det_ks = build_detector(spec_ks, &params);
-        det_ms.run(&series.data);
-        det_ks.run(&series.data);
+        let mut shared =
+            build_shared_warmup(ModelKind::TwoLayerAe, Task1::SlidingWindow, &VARIANTS, &params);
+        let warm = params.config.warmup.min(series.data.len());
+        for s in &series.data[..warm] {
+            shared.step(s);
+        }
+        let mut det_ms = shared.fork(0, build_scorer(params.score, &params));
+        let mut det_ks = shared.fork(1, build_scorer(params.score, &params));
+        det_ms.run(&series.data[warm..]);
+        det_ks.run(&series.data[warm..]);
         let take = |v: &[usize]| v.iter().take(6).copied().collect::<Vec<_>>();
         println!("{:<14} μ/σ: {:?}", corpus.name, take(det_ms.drift_times()));
         println!("{:<14} KS : {:?}", "", take(det_ks.drift_times()));
@@ -61,9 +66,15 @@ fn main() {
         let corpus = &corpora[ci];
         let params = harness_params(corpus.series[0].channels(), HarnessScale::Quick);
         let spec = mu_sigma_specs[si];
-        let sibling = AlgorithmSpec { task2: Task2::Kswin, ..spec };
-        let a = evaluate_spec(spec, &params, corpus, ScoreKind::AnomalyLikelihood);
-        let b = evaluate_spec(sibling, &params, corpus, ScoreKind::AnomalyLikelihood);
+        let tree = evaluate_tree(
+            spec.model,
+            spec.task1,
+            &VARIANTS,
+            &params,
+            corpus,
+            &[ScoreKind::AnomalyLikelihood],
+        );
+        let (a, b) = (tree.rows[0][0], tree.rows[1][0]);
         [
             (a.precision - b.precision).abs(),
             (a.recall - b.recall).abs(),

@@ -100,3 +100,55 @@ fn main() {
     println!("shape check: KSWIN costs orders of magnitude more than μ/σ-Change,");
     println!("matching the paper's conclusion that motivates the cheaper strategy.");
 }
+
+#[cfg(test)]
+mod tests {
+    use sad_core::{paper_algorithms, DetectorConfig, ModelKind, Task1, Task2};
+    use sad_models::{build_detector, build_scorer, build_shared_warmup, BuildParams};
+
+    /// Table II's operation tallies must not depend on how a detector was
+    /// warmed up: the shared-prefix path feeds every drift variant the
+    /// exact observe() stream a standalone warm-up would, so the op counts
+    /// (the measured columns of Table II) are invariant between the two
+    /// paths — and so are the trigger times.
+    #[test]
+    fn drift_op_counts_invariant_under_shared_warmup() {
+        let config = DetectorConfig {
+            window: 6,
+            channels: 2,
+            warmup: 60,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        let params = BuildParams::new(config).with_capacity(12).with_kswin_stride(2);
+        let series: Vec<Vec<f64>> = (0..200)
+            .map(|t| vec![(t as f64 * 0.11).sin(), (t as f64 * 0.07).cos() + (t as f64 * 0.002)])
+            .collect();
+        let warm = params.config.warmup;
+        let (model, task1) = (ModelKind::OnlineArima, Task1::SlidingWindow);
+        let task2s = [Task2::MuSigma, Task2::Kswin];
+
+        let mut shared = build_shared_warmup(model, task1, &task2s, &params);
+        for s in &series[..warm] {
+            shared.step(s);
+        }
+        for (v, &task2) in task2s.iter().enumerate() {
+            let spec = paper_algorithms()
+                .into_iter()
+                .find(|s| s.model == model && s.task1 == task1 && s.task2 == task2)
+                .unwrap();
+            let mut fork = shared.fork(v, build_scorer(params.score, &params));
+            let mut standalone = build_detector(spec, &params);
+            for s in &series[..warm] {
+                assert!(standalone.step(s).is_none());
+            }
+            // Warm-up observes alone must already agree…
+            assert_eq!(fork.drift_ops(), standalone.drift_ops(), "{}: warm-up ops", spec.label());
+            fork.run(&series[warm..]);
+            standalone.run(&series[warm..]);
+            // …and so must the full post-warm-up tally and trigger times.
+            assert_eq!(fork.drift_ops(), standalone.drift_ops(), "{}: total ops", spec.label());
+            assert_eq!(fork.drift_times(), standalone.drift_times(), "{}", spec.label());
+        }
+    }
+}

@@ -14,14 +14,18 @@
 //! cargo run --release -p sad-bench --bin table3_results -- --serial # one worker
 //! ```
 //!
-//! The grid is scheduled as 78 (spec, corpus) **groups** on a
-//! work-stealing job pool (default: all available cores; `--serial` or
-//! `--jobs N` to override); inside each group the three scorers share a
-//! single detector pass per series (scorer fan-out — anomaly-feedback
-//! strategies share the warm-up and fork per scorer instead). Results are
-//! **deterministic and byte-identical at any job count, and to the
-//! pre-fan-out per-cell grid** — every group seeds its own RNG chain and
-//! its rows land in fixed cell slots. Per-group (and legacy per-cell) wall
+//! The grid is scheduled as 42 shared-prefix **roots** (one
+//! `(model, Task1, corpus)` node per drift-variant pair, plus the two
+//! PCB-iForest singletons — down from the previous 78 `(spec, corpus)`
+//! groups) on a work-stealing job pool (default: all available cores;
+//! `--serial` or `--jobs N` to override). Inside each root the warm-up +
+//! initial fit is streamed once and forked per drift variant; inside each
+//! fork the three scorers share a single detector pass per series (scorer
+//! fan-out — anomaly-feedback strategies share the warm-up and fork per
+//! scorer instead). Results are **deterministic and byte-identical at any
+//! job count, and to the pre-tree per-group and pre-fan-out per-cell
+//! grids** — every root seeds its own RNG chain and its rows land in
+//! fixed cell slots. Per-root (and legacy per-group / per-cell) wall
 //! times are written to `bench_output/table3_timing.json` as a
 //! perf-regression artifact.
 //!
@@ -31,7 +35,7 @@
 
 use sad_bench::{
     cell_index, run_grid, CellTiming, EvalRow, GridDims, GroupTiming, HarnessArgs, HarnessScale,
-    Table, TimingArtifact,
+    RootTiming, Table, TimingArtifact,
 };
 use sad_core::{paper_algorithms, ScoreKind};
 use sad_data::{daphnet_like, exathlon_like, smd_like, Corpus, CorpusParams};
@@ -155,13 +159,32 @@ fn main() {
                 scorers: scorers.len(),
             })
             .collect(),
+        roots: grid
+            .root_labels
+            .iter()
+            .zip(grid.root_times.iter().zip(&grid.root_train_seconds))
+            .zip(grid.root_initial_fits.iter().zip(grid.root_shared.iter().zip(&grid.root_variants)))
+            .map(|((label, (&wall, &train_seconds)), (&initial_fits, (&shared_pass, &variants)))| {
+                RootTiming {
+                    label: label.clone(),
+                    wall,
+                    train_seconds,
+                    initial_fits,
+                    shared_pass,
+                    variants,
+                    scorers: scorers.len(),
+                }
+            })
+            .collect(),
     };
     match artifact.write("bench_output/table3_timing.json") {
         Ok(()) => eprintln!(
-            "wall {:.2}s, cpu {:.2}s, {} jobs -> bench_output/table3_timing.json",
+            "wall {:.2}s, cpu {:.2}s, {} jobs, {} roots, {} initial fits -> bench_output/table3_timing.json",
             grid.wall_time.as_secs_f64(),
             grid.cpu_time().as_secs_f64(),
             grid.jobs_used,
+            grid.root_times.len(),
+            grid.initial_fits(),
         ),
         Err(e) => eprintln!("warning: could not write timing artifact: {e}"),
     }

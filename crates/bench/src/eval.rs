@@ -9,10 +9,10 @@
 //! uniformly to every algorithm). Metrics are averaged across the corpus's
 //! series.
 
-use sad_core::{AlgorithmSpec, DetectorConfig, ScoreKind};
+use sad_core::{AlgorithmSpec, DetectorConfig, ModelKind, ScoreKind, Task1, Task2};
 use sad_data::Corpus;
 use sad_metrics::{best_f1, best_nab, pr_auc, vus_pr};
-use sad_models::{build_detector, build_scorer, build_scorer_bank, BuildParams};
+use sad_models::{build_scorer, build_scorer_bank, build_shared_warmup, BuildParams};
 
 /// One row of Table III: the five metrics for one algorithm on one corpus.
 #[derive(Debug, Clone, Copy, Default)]
@@ -142,90 +142,154 @@ pub struct GroupEval {
     pub train_seconds: f64,
 }
 
+/// Result of evaluating one **root** of the shared-prefix evaluation tree:
+/// a `(model, Task1, corpus)` node whose warm-up segment + initial fit is
+/// streamed ONCE and forked across several Task-2 drift variants, each
+/// fork fanned out over every scorer (PR 3's scorer bank).
+#[derive(Debug, Clone)]
+pub struct TreeEval {
+    /// `rows[variant][scorer]`: one corpus-averaged metric row per
+    /// `(drift variant, scorer)` leaf, both in input order.
+    pub rows: Vec<Vec<EvalRow>>,
+    /// Whether the scorer fan-out shared a single detector pass per fork.
+    /// `false` only for anomaly-feedback strategies (ARES) evaluated over
+    /// several scorers.
+    pub shared_pass: bool,
+    /// Legacy per-variant training seconds: each variant's view counts the
+    /// shared warm-up fit as its own, matching what a standalone
+    /// `(spec, corpus)` group run would have reported. Sums to more than
+    /// [`Self::train_seconds`] whenever the fit was actually shared.
+    pub variant_train_seconds: Vec<f64>,
+    /// True training wall time of the root (seconds): the shared initial
+    /// fit counted ONCE across all variants and scorers, plus every fork's
+    /// own fine-tune cost.
+    pub train_seconds: f64,
+    /// Number of `fit_initial` invocations actually performed — one per
+    /// series that reached warm-up, *regardless of the variant count*.
+    pub initial_fits: usize,
+}
+
+/// Evaluates one shared-prefix root: `(model, task1)` on `corpus`, forked
+/// over the drift variants in `task2s`, fanned out over `scorers`.
+///
+/// Bitwise identical to one [`evaluate_spec_scorers`] call per
+/// `(model, task1, task2)` spec, but the expensive shared prefix — warm-up
+/// streaming of the representation + Task-1 strategy and the initial model
+/// fit — is computed once per series instead of once per variant. This is
+/// sound because the warm-up trajectory is drift-verdict-independent (the
+/// verdict is ignored and `f_t` is pinned to 0; see
+/// [`sad_core::SharedWarmup`]) and every component seeds its own RNG
+/// chain.
+///
+/// Per fork the scorer dimension then collapses exactly as in
+/// [`evaluate_spec_scorers`]:
+///
+/// * **Shared pass** (SW / URES): one [`sad_core::Detector::run_fanout`]
+///   pass over the post-warm-up suffix tees the nonconformity stream
+///   through a [`sad_core::ScorerBank`].
+/// * **Scorer forks** (ARES): `f_t` feeds the reservoir, so each scorer
+///   gets its own fork of the warmed root.
+pub fn evaluate_tree(
+    model: ModelKind,
+    task1: Task1,
+    task2s: &[Task2],
+    params: &BuildParams,
+    corpus: &Corpus,
+    scorers: &[ScoreKind],
+) -> TreeEval {
+    assert!(!task2s.is_empty(), "at least one drift variant required");
+    assert!(!scorers.is_empty(), "at least one scorer required");
+    let window = params.config.window;
+    // Per-(variant, scorer) accumulation of per-series rows.
+    let mut per_leaf: Vec<Vec<Vec<EvalRow>>> =
+        vec![vec![Vec::new(); scorers.len()]; task2s.len()];
+    let mut variant_train = vec![0.0f64; task2s.len()];
+    let mut root_train = 0.0f64;
+    let mut initial_fits = 0usize;
+    let mut shared_pass = true;
+    for series in &corpus.series {
+        // One warm-up + initial fit for the whole variant fan.
+        let mut shared = build_shared_warmup(model, task1, task2s, params);
+        let warm = params.config.warmup.min(series.data.len());
+        for s in &series.data[..warm] {
+            shared.step(s);
+        }
+        let base_train = shared.train_time().as_secs_f64();
+        root_train += base_train;
+        initial_fits += shared.is_warmed_up() as usize;
+        // A series ending inside warm-up has `warm == series.data.len()`,
+        // so this uniformly aligns labels with the (possibly empty)
+        // post-warm-up traces.
+        let labels = &series.labels[warm..];
+        if shared.scorer_feedback_free() {
+            for (v, leaves) in per_leaf.iter_mut().enumerate() {
+                // The fork's own scorer drives `f_t` exactly as a
+                // standalone detector built with `scorers[0]` would; the
+                // bank tees the remaining scorers off the same pass.
+                let mut fork = shared.fork(v, build_scorer(scorers[0], params));
+                let mut bank = build_scorer_bank(scorers, params);
+                let run = fork.run_fanout(&series.data[warm..], &mut bank);
+                let train = fork.train_time().as_secs_f64();
+                variant_train[v] += train;
+                // The fork's telemetry carries the shared fit; only its
+                // post-fork fine-tunes are new cost for the root.
+                root_train += train - base_train;
+                for (k, trace) in run.traces.iter().enumerate() {
+                    leaves[k].push(metrics_row(trace, labels, window, train));
+                }
+            }
+        } else {
+            shared_pass = scorers.len() == 1;
+            for (v, leaves) in per_leaf.iter_mut().enumerate() {
+                variant_train[v] += base_train;
+                for (k, &kind) in scorers.iter().enumerate() {
+                    let mut fork = shared.fork(v, build_scorer(kind, params));
+                    let mut scores = Vec::with_capacity(series.data.len() - warm);
+                    for s in &series.data[warm..] {
+                        if let Some(out) = fork.step(s) {
+                            scores.push(out.anomaly_score);
+                        }
+                    }
+                    let fork_train = fork.train_time().as_secs_f64();
+                    variant_train[v] += fork_train - base_train;
+                    root_train += fork_train - base_train;
+                    leaves[k].push(metrics_row(&scores, labels, window, fork_train));
+                }
+            }
+        }
+    }
+    TreeEval {
+        rows: per_leaf
+            .iter()
+            .map(|leaves| leaves.iter().map(|rows| EvalRow::mean(rows)).collect())
+            .collect(),
+        shared_pass,
+        variant_train_seconds: variant_train,
+        train_seconds: root_train,
+        initial_fits,
+    }
+}
+
 /// Runs `spec` over every series of `corpus` once per series (when the
 /// algorithm permits) and returns one corpus-averaged metric row **per
 /// scorer** in `scorers`.
 ///
-/// Two regimes, both bitwise identical to per-scorer [`evaluate_spec`]
-/// runs:
-///
-/// * **Shared pass** (SW / URES training strategies): the anomaly score
-///   `f_t` never feeds back into the detector trajectory
-///   ([`sad_core::Detector::scorer_feedback_free`]), so the per-step
-///   nonconformity stream `a_t` is teed through a
-///   [`sad_core::ScorerBank`] and every scorer's trace falls out of ONE
-///   detector pass.
-/// * **Warm-up share** (ARES): `f_t` drives the reservoir's priority
-///   function, so post-warm-up trajectories are scorer-dependent. The
-///   warm-up prefix + initial fit (the expensive part — the scorer is
-///   never consulted before the first post-warm-up step) is computed once,
-///   then the detector is cloned per scorer with a fresh scorer swapped
-///   in, reproducing each standalone run bitwise.
+/// Single-variant special case of [`evaluate_tree`]: the shared-prefix
+/// machinery degenerates to one warm-up + fit + fork per series, which is
+/// bitwise identical to the pre-tree group evaluation (and hence to
+/// per-scorer [`evaluate_spec`] runs).
 pub fn evaluate_spec_scorers(
     spec: AlgorithmSpec,
     params: &BuildParams,
     corpus: &Corpus,
     scorers: &[ScoreKind],
 ) -> GroupEval {
-    assert!(!scorers.is_empty(), "at least one scorer required");
-    let window = params.config.window;
-    // Per-scorer accumulation of per-series rows.
-    let mut per_scorer: Vec<Vec<EvalRow>> = vec![Vec::new(); scorers.len()];
-    let mut group_train = 0.0f64;
-    let mut shared_pass = true;
-    for series in &corpus.series {
-        // Component RNG chains and the detector trajectory up to the first
-        // scored step are scorer-independent, so building with the first
-        // requested scorer is representative.
-        let p = params.clone().with_score(scorers[0]);
-        let mut detector = build_detector(spec, &p);
-        if detector.scorer_feedback_free() {
-            // Single pass, nonconformity teed through the bank.
-            let mut bank = build_scorer_bank(scorers, params);
-            let run = detector.run_fanout(&series.data, &mut bank);
-            let labels = &series.labels[run.offset..];
-            let train = detector.train_time().as_secs_f64();
-            group_train += train;
-            for (k, trace) in run.traces.iter().enumerate() {
-                per_scorer[k].push(metrics_row(trace, labels, window, train));
-            }
-        } else {
-            shared_pass = scorers.len() == 1;
-            // Warm-up share: stream the warm-up prefix once (every step
-            // returns `None`; the scorer is untouched), then fork.
-            let warm = params.config.warmup.min(series.data.len());
-            for s in &series.data[..warm] {
-                let out = detector.step(s);
-                debug_assert!(out.is_none(), "warm-up step produced output");
-            }
-            let base_train = detector.train_time().as_secs_f64();
-            group_train += base_train;
-            for (k, &kind) in scorers.iter().enumerate() {
-                let mut fork = detector.clone();
-                fork.set_scorer(build_scorer(kind, params));
-                let mut scores = Vec::new();
-                let mut offset = series.data.len();
-                for s in &series.data[warm..] {
-                    if let Some(out) = fork.step(s) {
-                        if scores.is_empty() {
-                            offset = out.t;
-                        }
-                        scores.push(out.anomaly_score);
-                    }
-                }
-                let labels = &series.labels[offset..];
-                let fork_train = fork.train_time().as_secs_f64();
-                // Post-fork fine-tune cost is scorer-specific; the shared
-                // warm-up cost was already counted once above.
-                group_train += fork_train - base_train;
-                per_scorer[k].push(metrics_row(&scores, labels, window, fork_train));
-            }
-        }
-    }
+    let tree = evaluate_tree(spec.model, spec.task1, &[spec.task2], params, corpus, scorers);
+    let TreeEval { rows, shared_pass, train_seconds, .. } = tree;
     GroupEval {
-        rows: per_scorer.iter().map(|rows| EvalRow::mean(rows)).collect(),
+        rows: rows.into_iter().next().expect("exactly one variant"),
         shared_pass,
-        train_seconds: group_train,
+        train_seconds,
     }
 }
 
@@ -249,6 +313,7 @@ mod tests {
     use super::*;
     use sad_core::paper_algorithms;
     use sad_data::{daphnet_like, CorpusParams};
+    use sad_models::build_detector;
 
     #[test]
     fn quick_profile_evaluates_one_algorithm() {
@@ -335,6 +400,57 @@ mod tests {
                     &legacy,
                     &format!("{} / {kind:?}", spec.label()),
                 );
+            }
+        }
+    }
+
+    /// A paired tree root (both drift variants of one `(model, Task1)`)
+    /// reproduces the two per-spec group evaluations bitwise, while
+    /// running `fit_initial` only once per series.
+    #[test]
+    fn tree_eval_matches_per_spec_groups_bitwise() {
+        use sad_core::{ModelKind, Task1};
+        let mut cp = CorpusParams::small();
+        cp.length = 700;
+        cp.n_series = 2;
+        let corpus = daphnet_like(2, cp);
+        let config = DetectorConfig {
+            window: 8,
+            channels: corpus.series[0].channels(),
+            warmup: 250,
+            initial_epochs: 2,
+            fine_tune_epochs: 1,
+        };
+        let bp = BuildParams::new(config).with_capacity(20).with_kswin_stride(5);
+        let kinds = [ScoreKind::Raw, ScoreKind::Average, ScoreKind::AnomalyLikelihood];
+        for (model, task1) in [
+            (ModelKind::OnlineArima, Task1::SlidingWindow),
+            (ModelKind::OnlineArima, Task1::AnomalyAwareReservoir),
+        ] {
+            let pair: Vec<_> = paper_algorithms()
+                .into_iter()
+                .filter(|s| s.model == model && s.task1 == task1)
+                .collect();
+            assert_eq!(pair.len(), 2);
+            let task2s: Vec<_> = pair.iter().map(|s| s.task2).collect();
+            let tree = evaluate_tree(model, task1, &task2s, &bp, &corpus, &kinds);
+            assert_eq!(tree.rows.len(), 2);
+            assert_eq!(tree.variant_train_seconds.len(), 2);
+            // One shared fit per series, not one per variant.
+            assert_eq!(tree.initial_fits, corpus.series.len());
+            // The shared fit is counted once in the root total but in
+            // both legacy per-variant views.
+            assert!(tree.variant_train_seconds.iter().sum::<f64>() >= tree.train_seconds);
+            for (v, &spec) in pair.iter().enumerate() {
+                let group = evaluate_spec_scorers(spec, &bp, &corpus, &kinds);
+                assert_eq!(tree.shared_pass, group.shared_pass, "{}", spec.label());
+                for (k, kind) in kinds.iter().enumerate() {
+                    assert_rows_bitwise(
+                        &tree.rows[v][k],
+                        &group.rows[k],
+                        &format!("{} / {kind:?}", spec.label()),
+                    );
+                }
             }
         }
     }

@@ -1,21 +1,28 @@
 //! The shared (spec × corpus × scorer) evaluation grid behind Table III.
 //!
-//! [`run_grid`] schedules one job per `(spec, corpus)` **group** on a
-//! [`JobPool`]; inside each group the scorer dimension is fanned out
-//! through a single shared detector pass per series
-//! ([`crate::eval::evaluate_spec_scorers`]), so the grid streams each
-//! series once instead of once per scorer. Group results are scattered
-//! back into the legacy per-cell layout: cell order stays fixed
-//! (spec-major, then corpus, then scorer) and results come back in that
-//! order regardless of worker count, so table assembly downstream is
-//! purely positional — and parallel output is byte-identical to serial
-//! output, which in turn is byte-identical to the pre-fan-out per-cell
-//! grid.
+//! [`run_grid`] schedules one job per **root** of the shared-prefix
+//! evaluation tree — a `(model, Task1, corpus)` node covering every
+//! Task-2 drift variant of that pair ([`plan_roots`]). Inside each root
+//! the warm-up segment and the initial model fit are streamed **once**
+//! and forked per drift variant ([`crate::eval::evaluate_tree`]); inside
+//! each fork the scorer dimension is fanned out through a single shared
+//! detector pass per series. The paper grid (26 specs × 3 corpora)
+//! therefore schedules 42 roots instead of the 78 `(spec, corpus)`
+//! groups of the previous harness — 12 paired `(model, Task1)` combos
+//! plus 2 PCB-iForest singletons, × 3 corpora.
+//!
+//! Root results are scattered back into the legacy per-cell layout: cell
+//! order stays fixed (spec-major, then corpus, then scorer) and results
+//! come back in that order regardless of worker count, so table assembly
+//! downstream is purely positional — and parallel output is
+//! byte-identical to serial output, which in turn is byte-identical to
+//! the pre-tree per-group grid and the pre-fan-out per-cell grid.
 
-use crate::eval::{evaluate_spec_scorers, harness_params, EvalRow, GroupEval, HarnessScale};
+use crate::eval::{evaluate_tree, harness_params, EvalRow, HarnessScale};
 use crate::parallel::{JobPool, JobReport};
-use sad_core::{AlgorithmSpec, ScoreKind};
+use sad_core::{AlgorithmSpec, ModelKind, ScoreKind, Task1, Task2};
 use sad_data::Corpus;
+use std::time::Duration;
 
 /// Flat result of one grid run.
 #[derive(Debug, Clone)]
@@ -28,21 +35,41 @@ pub struct GridRun {
     /// Per-cell wall-time view, aligned with `rows`. Cells of one group
     /// share a detector pass, so each cell reports its group's wall time
     /// divided by the scorer count (an amortized legacy view; the true
-    /// measured unit is `group_times`).
-    pub report_times: Vec<std::time::Duration>,
+    /// measured unit is `root_times`).
+    pub report_times: Vec<Duration>,
     /// Human-readable label per group (`spec @ corpus`), in group order
     /// (spec-major, then corpus).
     pub group_labels: Vec<String>,
-    /// Measured wall time per group — the actual scheduling unit.
-    pub group_times: Vec<std::time::Duration>,
+    /// Per-group wall-time view. Groups of one root share the warm-up +
+    /// initial fit, so each group reports its root's wall time divided by
+    /// the variant count (amortized legacy view; the measured scheduling
+    /// unit is `root_times`).
+    pub group_times: Vec<Duration>,
     /// Whether each group's scorer fan-out shared a single detector pass
     /// per series (`false` for anomaly-feedback strategies, which share
     /// only the warm-up).
     pub group_shared: Vec<bool>,
-    /// True training seconds per group (shared work counted once).
+    /// Legacy training seconds per group: the shared initial fit is
+    /// counted in *every* member group of a root, matching what a
+    /// standalone group run would have reported.
     pub group_train_seconds: Vec<f64>,
+    /// Human-readable label per root (`model / task1 @ corpus`), in root
+    /// order (root-major, then corpus).
+    pub root_labels: Vec<String>,
+    /// Measured wall time per root — the actual scheduling unit.
+    pub root_times: Vec<Duration>,
+    /// True training seconds per root (the shared initial fit counted
+    /// once across all drift variants and scorers).
+    pub root_train_seconds: Vec<f64>,
+    /// Number of `fit_initial` invocations per root (one per series that
+    /// reached warm-up, shared across the root's drift variants).
+    pub root_initial_fits: Vec<usize>,
+    /// Whether each root's scorer fan-out shared a single detector pass.
+    pub root_shared: Vec<bool>,
+    /// Number of drift variants forked from each root.
+    pub root_variants: Vec<usize>,
     /// End-to-end wall time of the grid run.
-    pub wall_time: std::time::Duration,
+    pub wall_time: Duration,
     /// Worker threads used.
     pub jobs_used: usize,
 }
@@ -53,10 +80,17 @@ impl GridRun {
         self.rows[cell_index(spec_idx, corpus_idx, scorer_idx, dims)]
     }
 
-    /// Sum of per-group wall times (see `JobReport::cpu_time` for the
+    /// Sum of per-root wall times (see `JobReport::cpu_time` for the
     /// oversubscription caveat).
-    pub fn cpu_time(&self) -> std::time::Duration {
-        self.group_times.iter().sum()
+    pub fn cpu_time(&self) -> Duration {
+        self.root_times.iter().sum()
+    }
+
+    /// Total `fit_initial` invocations across the grid — the headline
+    /// saving of the shared-prefix tree (42 on the paper grid's quick
+    /// profile, down from the 78 of the per-group schedule).
+    pub fn initial_fits(&self) -> usize {
+        self.root_initial_fits.iter().sum()
     }
 }
 
@@ -78,17 +112,63 @@ pub fn cell_index(spec_idx: usize, corpus_idx: usize, scorer_idx: usize, dims: G
 
 /// Flat index of the `(spec_idx, corpus_idx)` group — spec-major, then
 /// corpus. Groups in this order, each expanded over the scorer dimension,
-/// reproduce [`cell_index`] order exactly, which is what lets group
-/// results be concatenated straight into the per-cell layout.
+/// reproduce [`cell_index`] order exactly, which is what lets root
+/// results be scattered straight into the per-cell layout.
 #[inline]
 pub fn group_index(spec_idx: usize, corpus_idx: usize, dims: GridDims) -> usize {
     spec_idx * dims.corpora + corpus_idx
 }
 
-/// Evaluates the grid on `pool`, one job per `(spec, corpus)` group with
-/// the scorer dimension fanned out inside the job.
+/// One root of the shared-prefix evaluation tree: a `(model, Task1)` pair
+/// and the specs (identified by index into the scheduled spec list) that
+/// share its warm-up + initial fit, differing only in their Task-2 drift
+/// variant.
+#[derive(Debug, Clone)]
+pub struct RootSpec {
+    /// The shared ML model.
+    pub model: ModelKind,
+    /// The shared Task-1 training-set strategy.
+    pub task1: Task1,
+    /// Indices into the spec list, in first-occurrence order.
+    pub members: Vec<usize>,
+    /// The members' drift variants, aligned with `members`.
+    pub task2s: Vec<Task2>,
+}
+
+impl RootSpec {
+    /// Display label, e.g. `"USAD / ARES"`.
+    pub fn label(&self) -> String {
+        format!("{} / {}", self.model.label(), self.task1.label())
+    }
+}
+
+/// Groups a spec list into shared-prefix roots by `(model, Task1)`,
+/// preserving first-occurrence order. On the paper grid this folds the
+/// 26 specs into 14 roots (12 drift-variant pairs + the 2 PCB-iForest
+/// singletons).
+pub fn plan_roots(specs: &[AlgorithmSpec]) -> Vec<RootSpec> {
+    let mut roots: Vec<RootSpec> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        match roots.iter_mut().find(|r| r.model == spec.model && r.task1 == spec.task1) {
+            Some(root) => {
+                root.members.push(i);
+                root.task2s.push(spec.task2);
+            }
+            None => roots.push(RootSpec {
+                model: spec.model,
+                task1: spec.task1,
+                members: vec![i],
+                task2s: vec![spec.task2],
+            }),
+        }
+    }
+    roots
+}
+
+/// Evaluates the grid on `pool`, one job per `(root, corpus)` with the
+/// drift-variant and scorer dimensions collapsed inside the job.
 ///
-/// Each group is a pure function of its index: it derives its own
+/// Each root job is a pure function of its index: it derives its own
 /// [`harness_params`] and seeds its own detectors, so execution order
 /// cannot leak into the results.
 pub fn run_grid(
@@ -99,31 +179,56 @@ pub fn run_grid(
     pool: JobPool,
 ) -> GridRun {
     let dims = GridDims { corpora: corpora.len(), scorers: scorers.len() };
-    let n_groups = specs.len() * corpora.len();
+    let roots = plan_roots(specs);
+    let n_roots = roots.len() * corpora.len();
 
-    let JobReport { results, job_times, wall_time, jobs_used } = pool.run(n_groups, |group| {
-        let corpus_idx = group % dims.corpora;
-        let spec_idx = group / dims.corpora;
+    let JobReport { results, job_times, wall_time, jobs_used } = pool.run(n_roots, |job| {
+        let corpus_idx = job % dims.corpora;
+        let root = &roots[job / dims.corpora];
         let corpus = &corpora[corpus_idx];
         let params = harness_params(corpus.series[0].channels(), scale);
-        evaluate_spec_scorers(specs[spec_idx], &params, corpus, scorers)
+        evaluate_tree(root.model, root.task1, &root.task2s, &params, corpus, scorers)
     });
 
-    // Scatter group rows into the per-cell layout. Group order expanded
-    // over scorers IS cell order, so this is a flat concatenation.
+    // Scatter root results into the per-cell / per-group layouts. Scatter
+    // (not concatenation): a root's member specs are interleaved with
+    // other roots' in cell order, but each `(spec, corpus, scorer)` slot
+    // is written exactly once, so the output is positionally identical to
+    // the per-group schedule.
+    let n_groups = specs.len() * corpora.len();
     let n_cells = n_groups * dims.scorers;
-    let mut rows = Vec::with_capacity(n_cells);
-    let mut report_times = Vec::with_capacity(n_cells);
-    let mut group_shared = Vec::with_capacity(n_groups);
-    let mut group_train_seconds = Vec::with_capacity(n_groups);
-    for (group, eval) in results.into_iter().enumerate() {
-        let GroupEval { rows: group_rows, shared_pass, train_seconds } = eval;
-        debug_assert_eq!(group_rows.len(), dims.scorers);
-        rows.extend(group_rows);
-        let amortized = job_times[group] / dims.scorers.max(1) as u32;
-        report_times.extend(std::iter::repeat_n(amortized, dims.scorers));
-        group_shared.push(shared_pass);
-        group_train_seconds.push(train_seconds);
+    let mut rows = vec![EvalRow::default(); n_cells];
+    let mut report_times = vec![Duration::ZERO; n_cells];
+    let mut group_times = vec![Duration::ZERO; n_groups];
+    let mut group_shared = vec![true; n_groups];
+    let mut group_train_seconds = vec![0.0f64; n_groups];
+    let mut root_times = Vec::with_capacity(n_roots);
+    let mut root_train_seconds = Vec::with_capacity(n_roots);
+    let mut root_initial_fits = Vec::with_capacity(n_roots);
+    let mut root_shared = Vec::with_capacity(n_roots);
+    let mut root_variants = Vec::with_capacity(n_roots);
+    for (job, tree) in results.into_iter().enumerate() {
+        let corpus_idx = job % dims.corpora;
+        let root = &roots[job / dims.corpora];
+        debug_assert_eq!(tree.rows.len(), root.members.len());
+        let amortized_group = job_times[job] / root.members.len().max(1) as u32;
+        let amortized_cell = amortized_group / dims.scorers.max(1) as u32;
+        for (v, &spec_idx) in root.members.iter().enumerate() {
+            let group = group_index(spec_idx, corpus_idx, dims);
+            group_times[group] = amortized_group;
+            group_shared[group] = tree.shared_pass;
+            group_train_seconds[group] = tree.variant_train_seconds[v];
+            for (k, row) in tree.rows[v].iter().enumerate() {
+                let cell = cell_index(spec_idx, corpus_idx, k, dims);
+                rows[cell] = *row;
+                report_times[cell] = amortized_cell;
+            }
+        }
+        root_times.push(job_times[job]);
+        root_train_seconds.push(tree.train_seconds);
+        root_initial_fits.push(tree.initial_fits);
+        root_shared.push(tree.shared_pass);
+        root_variants.push(root.members.len());
     }
 
     let mut labels = Vec::with_capacity(n_cells);
@@ -136,15 +241,27 @@ pub fn run_grid(
             }
         }
     }
+    let mut root_labels = Vec::with_capacity(n_roots);
+    for root in &roots {
+        for corpus in corpora {
+            root_labels.push(format!("{} @ {}", root.label(), corpus.name));
+        }
+    }
 
     GridRun {
         rows,
         labels,
         report_times,
         group_labels,
-        group_times: job_times,
+        group_times,
         group_shared,
         group_train_seconds,
+        root_labels,
+        root_times,
+        root_train_seconds,
+        root_initial_fits,
+        root_shared,
+        root_variants,
         wall_time,
         jobs_used,
     }
@@ -153,6 +270,7 @@ pub fn run_grid(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sad_core::paper_algorithms;
 
     #[test]
     fn cell_index_is_a_bijection() {
@@ -172,8 +290,8 @@ mod tests {
 
     #[test]
     fn cell_index_inverts_the_pool_mapping() {
-        // The group decomposition inside `run_grid`, expanded over the
-        // scorer dimension, must invert `cell_index`.
+        // The group decomposition, expanded over the scorer dimension,
+        // must invert `cell_index`.
         let dims = GridDims { corpora: 3, scorers: 2 };
         for spec_idx in 0..5 {
             for corpus_idx in 0..3 {
@@ -182,11 +300,49 @@ mod tests {
                 assert_eq!(group / dims.corpora, spec_idx);
                 for scorer_idx in 0..2 {
                     let cell = cell_index(spec_idx, corpus_idx, scorer_idx, dims);
-                    // Concatenating group rows in group order lands each
+                    // Expanding group rows in group order lands each
                     // scorer row exactly at its cell index.
                     assert_eq!(cell, group * dims.scorers + scorer_idx);
                 }
             }
         }
+    }
+
+    /// The paper grid folds into 14 roots: 12 drift-variant pairs plus
+    /// the two PCB-iForest singletons — 42 scheduled jobs over 3 corpora
+    /// instead of the 78 per-group jobs.
+    #[test]
+    fn paper_grid_plans_fourteen_roots() {
+        let specs = paper_algorithms();
+        let roots = plan_roots(&specs);
+        assert_eq!(roots.len(), 14);
+        let members: usize = roots.iter().map(|r| r.members.len()).sum();
+        assert_eq!(members, specs.len());
+        let pairs = roots.iter().filter(|r| r.members.len() == 2).count();
+        let singletons = roots.iter().filter(|r| r.members.len() == 1).count();
+        assert_eq!((pairs, singletons), (12, 2));
+        for root in &roots {
+            assert_eq!(
+                root.members.len() == 1,
+                root.model == ModelKind::PcbIForest,
+                "{}: only PCB-iForest lacks a drift pair",
+                root.label()
+            );
+            // Every member really shares the root's prefix…
+            for (&m, &task2) in root.members.iter().zip(&root.task2s) {
+                assert_eq!(specs[m].model, root.model);
+                assert_eq!(specs[m].task1, root.task1);
+                assert_eq!(specs[m].task2, task2);
+            }
+        }
+        // …and every spec index appears in exactly one root.
+        let mut seen = vec![false; specs.len()];
+        for root in &roots {
+            for &m in &root.members {
+                assert!(!seen[m], "spec {m} scheduled twice");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

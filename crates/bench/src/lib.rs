@@ -22,9 +22,10 @@ pub mod parallel;
 pub mod timing;
 
 pub use eval::{
-    evaluate_spec, evaluate_spec_scorers, harness_params, EvalRow, GroupEval, HarnessScale,
+    evaluate_spec, evaluate_spec_scorers, evaluate_tree, harness_params, EvalRow, GroupEval,
+    HarnessScale, TreeEval,
 };
 pub use fmt::Table;
-pub use grid::{cell_index, group_index, run_grid, GridDims, GridRun};
+pub use grid::{cell_index, group_index, plan_roots, run_grid, GridDims, GridRun, RootSpec};
 pub use parallel::{available_workers, HarnessArgs, JobPool, JobReport};
-pub use timing::{CellTiming, GroupTiming, TimingArtifact};
+pub use timing::{CellTiming, GroupTiming, RootTiming, TimingArtifact};

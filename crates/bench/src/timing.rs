@@ -28,9 +28,16 @@ pub struct TimingArtifact {
     /// shared-pass group report the group's wall time divided by the
     /// scorer count).
     pub cells: Vec<CellTiming>,
-    /// Per-group timing breakdown — the actual scheduling unit since the
-    /// scorer fan-out. Empty for harnesses that still time per cell.
+    /// Per-group timing breakdown (amortized view since the shared-prefix
+    /// tree: member groups of one root report the root's wall time divided
+    /// by the variant count). Empty for harnesses that still time per
+    /// cell.
     pub groups: Vec<GroupTiming>,
+    /// Per-root timing breakdown — the actual scheduling unit since the
+    /// shared-prefix evaluation tree (one warm-up + initial fit per
+    /// `(model, Task1, corpus)` node, forked across drift variants).
+    /// Empty for harnesses that still time per group or per cell.
+    pub roots: Vec<RootTiming>,
 }
 
 /// Timing of one grid cell.
@@ -67,6 +74,30 @@ pub struct GroupTiming {
     pub scorers: usize,
 }
 
+/// Timing of one shared-prefix tree root — the `(model, Task1, corpus)`
+/// scheduling unit whose warm-up + initial fit is forked across drift
+/// variants.
+#[derive(Debug, Clone)]
+pub struct RootTiming {
+    /// Root label (`model / task1 @ corpus`).
+    pub label: String,
+    /// Measured end-to-end root wall time (shared warm-up + initial fit,
+    /// every drift-variant fork, every scorer).
+    pub wall: Duration,
+    /// True training seconds of the root: the shared initial fit counted
+    /// once across all variants and scorers, plus per-fork fine-tunes.
+    pub train_seconds: f64,
+    /// Number of `fit_initial` invocations (one per series that reached
+    /// warm-up — deduplicated across the root's drift variants).
+    pub initial_fits: usize,
+    /// Whether the root's scorers shared a single detector pass per fork.
+    pub shared_pass: bool,
+    /// Number of drift variants forked from the shared warm-up.
+    pub variants: usize,
+    /// Number of scorers fanned out inside each fork.
+    pub scorers: usize,
+}
+
 impl TimingArtifact {
     /// Renders the artifact as pretty-printed JSON.
     pub fn to_json(&self) -> String {
@@ -86,15 +117,38 @@ impl TimingArtifact {
             self.cpu_time.as_secs_f64() / self.wall_time.as_secs_f64().max(1e-12)
         ));
         // Total model-training share (the hot loop the batched NN path
-        // optimizes). Groups count shared work once, so when group timings
-        // exist they are the truthful total; the per-cell sum repeats the
-        // shared pass per scorer and is only used for legacy artifacts.
-        let train_total = if self.groups.is_empty() {
-            self.cells.iter().map(|c| c.train_seconds).sum::<f64>()
-        } else {
+        // optimizes). Roots deduplicate the shared initial fit across
+        // drift variants, so when root timings exist they are the
+        // truthful total; groups repeat the shared fit per variant and
+        // the per-cell sum additionally repeats the shared pass per
+        // scorer — both are legacy views.
+        let train_total = if !self.roots.is_empty() {
+            self.roots.iter().map(|r| r.train_seconds).sum::<f64>()
+        } else if !self.groups.is_empty() {
             self.groups.iter().map(|g| g.train_seconds).sum::<f64>()
+        } else {
+            self.cells.iter().map(|c| c.train_seconds).sum::<f64>()
         };
         out.push_str(&format!("  \"train_seconds_total\": {train_total:.6},\n"));
+        // Total `fit_initial` invocations — the headline saving of the
+        // shared-prefix tree (42 on the quick paper grid, down from 78).
+        let fits_total: usize = self.roots.iter().map(|r| r.initial_fits).sum();
+        out.push_str(&format!("  \"initial_fits_total\": {fits_total},\n"));
+        out.push_str("  \"roots\": [\n");
+        for (i, root) in self.roots.iter().enumerate() {
+            let comma = if i + 1 == self.roots.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"seconds\": {:.6}, \"train_seconds\": {:.6}, \"initial_fits\": {}, \"shared_pass\": {}, \"variants\": {}, \"scorers\": {}}}{comma}\n",
+                json_string(&root.label),
+                root.wall.as_secs_f64(),
+                root.train_seconds,
+                root.initial_fits,
+                root.shared_pass,
+                root.variants,
+                root.scorers,
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"groups\": [\n");
         for (i, group) in self.groups.iter().enumerate() {
             let comma = if i + 1 == self.groups.len() { "" } else { "," };
@@ -176,6 +230,7 @@ mod tests {
                 },
             ],
             groups: Vec::new(),
+            roots: Vec::new(),
         }
     }
 
@@ -194,6 +249,31 @@ mod tests {
                 wall: Duration::from_millis(600),
                 train_seconds: 0.125,
                 shared_pass: false,
+                scorers: 3,
+            },
+        ];
+        a
+    }
+
+    fn rooted_artifact() -> TimingArtifact {
+        let mut a = grouped_artifact();
+        a.roots = vec![
+            RootTiming {
+                label: "Online ARIMA / SW @ daphnet-like".into(),
+                wall: Duration::from_millis(1500),
+                train_seconds: 0.2,
+                initial_fits: 1,
+                shared_pass: true,
+                variants: 2,
+                scorers: 3,
+            },
+            RootTiming {
+                label: "2-layer AE / ARES @ smd-like".into(),
+                wall: Duration::from_millis(800),
+                train_seconds: 0.1,
+                initial_fits: 1,
+                shared_pass: false,
+                variants: 2,
                 scorers: 3,
             },
         ];
@@ -241,6 +321,23 @@ mod tests {
         let json = artifact().to_json();
         assert!(json.contains("\"train_seconds_total\": 0.750000"));
         assert!(json.contains("\"groups\": [\n  ],"), "empty groups array present:\n{json}");
+    }
+
+    #[test]
+    fn root_timings_serialize_and_own_the_train_total() {
+        let json = rooted_artifact().to_json();
+        for needle in [
+            "\"roots\": [",
+            "\"label\": \"Online ARIMA / SW @ daphnet-like\"",
+            "\"initial_fits\": 1",
+            "\"variants\": 2",
+            "\"initial_fits_total\": 2",
+            // Roots deduplicate the shared fit: 0.2 + 0.1, not the
+            // per-group 0.375 or the per-cell 0.75.
+            "\"train_seconds_total\": 0.300000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
     }
 
     #[test]

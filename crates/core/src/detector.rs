@@ -17,9 +17,9 @@
 use crate::drift::DriftDetector;
 use crate::model::StreamModel;
 use crate::nonconformity::nonconformity;
-use crate::repr::{DataRepresentation, RawWindow};
+use crate::repr::{FeatureVector, RawWindow};
 use crate::score::{AnomalyScorer, ScorerBank};
-use crate::strategy::TrainingSetStrategy;
+use crate::strategy::{SetUpdate, TrainingSetStrategy};
 
 /// Static configuration of a [`Detector`].
 #[derive(Debug, Clone)]
@@ -84,6 +84,9 @@ pub struct Detector {
     strategy: Box<dyn TrainingSetStrategy>,
     drift: Box<dyn DriftDetector>,
     scorer: Box<dyn AnomalyScorer>,
+    /// Reusable `x_t` buffer: [`RawWindow::push_into`] overwrites it every
+    /// step, so the steady-state hot loop never allocates a feature vector.
+    scratch: FeatureVector,
     t: usize,
     warmed_up: bool,
     drift_times: Vec<usize>,
@@ -110,6 +113,7 @@ impl Detector {
             config.window
         );
         let repr = RawWindow::new(config.window, config.channels);
+        let scratch = FeatureVector::zeroed(config.window, config.channels);
         Self {
             config,
             repr,
@@ -117,6 +121,7 @@ impl Detector {
             strategy,
             drift,
             scorer,
+            scratch,
             t: 0,
             warmed_up: false,
             drift_times: Vec::new(),
@@ -168,16 +173,19 @@ impl Detector {
     ) -> Option<StepOutput> {
         let t = self.t;
         self.t += 1;
-        let x = self.repr.push(s);
+        let has_x = self.repr.push_into(s, &mut self.scratch);
 
         if !self.warmed_up {
-            if let Some(x) = &x {
+            if has_x {
                 // During warm-up everything is assumed normal (f_t = 0). The
                 // drift detector must still observe every update so its
                 // incremental statistics (running μ/σ, KSWIN sorted sets)
                 // track the training set; its verdict is ignored.
-                let update = self.strategy.update(x, 0.0);
-                let _ = self.drift.observe(x, &update, self.strategy.training_set());
+                let update = self.strategy.update(&self.scratch, 0.0);
+                let _ = self.drift.observe(&self.scratch, &update, self.strategy.training_set());
+                if let SetUpdate::Replaced { removed } = update {
+                    self.strategy.recycle(removed);
+                }
             }
             if self.t >= self.config.warmup {
                 let started = std::time::Instant::now();
@@ -189,15 +197,18 @@ impl Detector {
             return None;
         }
 
-        let x = x.expect("window is full after warm-up");
-        let output = self.model.predict(&x);
-        let a_t = nonconformity(&x, &output);
+        assert!(has_x, "window is full after warm-up");
+        let output = self.model.predict(&self.scratch);
+        let a_t = nonconformity(&self.scratch, &output);
         let f_t = self.scorer.update(a_t);
         if let Some((bank, out)) = bank {
             bank.update_into(a_t, out);
         }
-        let update = self.strategy.update(&x, f_t);
-        let drift = self.drift.observe(&x, &update, self.strategy.training_set());
+        let update = self.strategy.update(&self.scratch, f_t);
+        let drift = self.drift.observe(&self.scratch, &update, self.strategy.training_set());
+        if let SetUpdate::Replaced { removed } = update {
+            self.strategy.recycle(removed);
+        }
         let mut fine_tuned = false;
         if drift {
             self.drift_times.push(t);
@@ -218,11 +229,19 @@ impl Detector {
         Some(StepOutput { t, nonconformity: a_t, anomaly_score: f_t, drift, fine_tuned })
     }
 
+    /// Expected number of outputs from streaming `len` more vectors (the
+    /// steps left after whatever warm-up remains).
+    fn expected_outputs(&self, len: usize) -> usize {
+        len.saturating_sub(self.config.warmup.saturating_sub(self.t))
+    }
+
     /// Runs the detector over a whole series (`series[t]` is `s_t`).
     ///
     /// Returns one [`StepOutput`] per post-warm-up step.
     pub fn run(&mut self, series: &[Vec<f64>]) -> Vec<StepOutput> {
-        series.iter().filter_map(|s| self.step(s)).collect()
+        let mut outputs = Vec::with_capacity(self.expected_outputs(series.len()));
+        outputs.extend(series.iter().filter_map(|s| self.step(s)));
+        outputs
     }
 
     /// Streams a whole series **once** and returns one full score trace per
@@ -232,7 +251,9 @@ impl Detector {
     /// `offset + i`; `offset` is the first post-warm-up step (or
     /// `series.len()` if warm-up never completed).
     pub fn run_fanout(&mut self, series: &[Vec<f64>], bank: &mut ScorerBank) -> FanoutRun {
-        let mut traces: Vec<Vec<f64>> = (0..bank.len()).map(|_| Vec::new()).collect();
+        let expected = self.expected_outputs(series.len());
+        let mut traces: Vec<Vec<f64>> =
+            (0..bank.len()).map(|_| Vec::with_capacity(expected)).collect();
         let mut offset = series.len();
         let mut step_scores = Vec::with_capacity(bank.len());
         for s in series {
@@ -278,6 +299,15 @@ impl Detector {
     /// state; post-warm-up callers should know what they are doing.
     pub fn set_scorer(&mut self, scorer: Box<dyn AnomalyScorer>) {
         self.scorer = scorer;
+    }
+
+    /// Clones the detector with a fresh scorer swapped in — the per-scorer
+    /// fork of the warm-up-sharing evaluation path (see
+    /// [`Self::set_scorer`] for why this is bitwise sound after warm-up).
+    pub fn fork_with_scorer(&self, scorer: Box<dyn AnomalyScorer>) -> Detector {
+        let mut fork = self.clone();
+        fork.set_scorer(scorer);
+        fork
     }
 
     /// Disables fine-tuning: drift is still detected and recorded, but the
@@ -338,6 +368,161 @@ impl Detector {
     /// Component names as `(model, task1, task2, scorer)` for reports.
     pub fn component_names(&self) -> (&'static str, &'static str, &'static str, &'static str) {
         (self.model.name(), self.strategy.name(), self.drift.name(), self.scorer.name())
+    }
+}
+
+/// Shared-prefix warm-up driver: one warm-up + initial fit forked across
+/// several Task-2 drift-detector variants.
+///
+/// The paper's component decomposition (Table I) pairs most detectors as
+/// `(model, Task1)` × {μσ-Change, KSWIN}. During warm-up the drift verdict
+/// is *ignored* (see [`Detector::step`]) and the anomaly score is pinned to
+/// 0, so detectors sharing `(model, Task1)` are bitwise identical through
+/// the whole warm-up segment **and** the initial fit — they diverge only at
+/// the first post-warm-up fine-tune decision. `SharedWarmup` exploits that:
+/// it streams the warm-up prefix once, feeding the representation and
+/// Task-1 strategy a single time, feeding *every* variant's
+/// [`DriftDetector::observe`] the exact update stream it would see
+/// standalone, and running `fit_initial` once. [`Self::fork`] then assembles
+/// one warmed [`Detector`] per variant (cloned model + strategy + repr
+/// state, that variant's drift detector, a fresh scorer), each bitwise
+/// identical to a detector that did the whole warm-up on its own.
+///
+/// Every component's RNG chain is seeded independently (model / Task-1 /
+/// Task-2 draw from unrelated seeds), so sharing cannot reorder any random
+/// draws relative to standalone runs.
+pub struct SharedWarmup {
+    config: DetectorConfig,
+    repr: RawWindow,
+    model: Box<dyn StreamModel>,
+    strategy: Box<dyn TrainingSetStrategy>,
+    drifts: Vec<Box<dyn DriftDetector>>,
+    scratch: FeatureVector,
+    t: usize,
+    warmed_up: bool,
+    train_time: std::time::Duration,
+}
+
+impl SharedWarmup {
+    /// Creates the driver over one drift detector per variant.
+    ///
+    /// # Panics
+    /// Panics on an empty variant list or an invalid configuration (same
+    /// rules as [`Detector::new`]).
+    pub fn new(
+        config: DetectorConfig,
+        model: Box<dyn StreamModel>,
+        strategy: Box<dyn TrainingSetStrategy>,
+        drifts: Vec<Box<dyn DriftDetector>>,
+    ) -> Self {
+        assert!(!drifts.is_empty(), "at least one drift variant required");
+        assert!(config.window > 0 && config.channels > 0, "window/channels must be positive");
+        assert!(
+            config.warmup >= config.window,
+            "warm-up ({}) must cover at least one window ({})",
+            config.warmup,
+            config.window
+        );
+        let repr = RawWindow::new(config.window, config.channels);
+        let scratch = FeatureVector::zeroed(config.window, config.channels);
+        Self {
+            config,
+            repr,
+            model,
+            strategy,
+            drifts,
+            scratch,
+            t: 0,
+            warmed_up: false,
+            train_time: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Feeds one warm-up stream vector, mirroring the warm-up branch of
+    /// [`Detector::step`] exactly — except that every drift variant
+    /// observes the (single) training-set update. At the end of warm-up the
+    /// model is fitted **once** and every variant snapshots its reference
+    /// statistics.
+    ///
+    /// # Panics
+    /// Panics if called after warm-up completed (the variants' trajectories
+    /// diverge there — fork instead) or if `s.len() != config.channels`.
+    pub fn step(&mut self, s: &[f64]) {
+        assert!(!self.warmed_up, "SharedWarmup stepped past the end of warm-up; fork instead");
+        self.t += 1;
+        if self.repr.push_into(s, &mut self.scratch) {
+            let update = self.strategy.update(&self.scratch, 0.0);
+            for drift in &mut self.drifts {
+                let _ = drift.observe(&self.scratch, &update, self.strategy.training_set());
+            }
+            if let SetUpdate::Replaced { removed } = update {
+                self.strategy.recycle(removed);
+            }
+        }
+        if self.t >= self.config.warmup {
+            let started = std::time::Instant::now();
+            self.model.fit_initial(self.strategy.training_set(), self.config.initial_epochs);
+            self.train_time += started.elapsed();
+            for drift in &mut self.drifts {
+                drift.on_fine_tune(self.strategy.training_set());
+            }
+            self.warmed_up = true;
+        }
+    }
+
+    /// Assembles a warmed [`Detector`] for drift variant `variant` with the
+    /// given (fresh) scorer.
+    ///
+    /// The fork owns clones of the shared model / strategy / representation
+    /// state plus the variant's drift detector; its `train_time` telemetry
+    /// carries the shared initial fit so per-detector accounting matches a
+    /// standalone run's shape. Forking before warm-up completed is allowed
+    /// (each fork simply finishes warm-up on its own — at which point
+    /// nothing was shared).
+    ///
+    /// # Panics
+    /// Panics if `variant >= self.variants()`.
+    pub fn fork(&self, variant: usize, scorer: Box<dyn AnomalyScorer>) -> Detector {
+        Detector {
+            config: self.config.clone(),
+            repr: self.repr.clone(),
+            model: self.model.clone(),
+            strategy: self.strategy.clone(),
+            drift: self.drifts[variant].clone(),
+            scorer,
+            scratch: self.scratch.clone(),
+            t: self.t,
+            warmed_up: self.warmed_up,
+            drift_times: Vec::new(),
+            fine_tunes: 0,
+            train_time: self.train_time,
+        }
+    }
+
+    /// Number of drift variants.
+    pub fn variants(&self) -> usize {
+        self.drifts.len()
+    }
+
+    /// Whether the shared initial fit has run.
+    pub fn is_warmed_up(&self) -> bool {
+        self.warmed_up
+    }
+
+    /// Current stream time.
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// Wall time of the shared initial fit (zero until warm-up completes).
+    pub fn train_time(&self) -> std::time::Duration {
+        self.train_time
+    }
+
+    /// Whether post-warm-up trajectories are scorer-independent (see
+    /// [`Detector::scorer_feedback_free`]).
+    pub fn scorer_feedback_free(&self) -> bool {
+        !self.strategy.uses_anomaly_feedback()
     }
 }
 
@@ -574,6 +759,147 @@ mod tests {
         let run = det.run_fanout(&series, &mut bank);
         assert_eq!(run.offset, 30);
         assert_eq!(run.traces, vec![Vec::<f64>::new()]);
+    }
+
+    /// The tentpole guarantee: warming once through `SharedWarmup` and
+    /// forking per drift variant is bitwise identical to two standalone
+    /// detectors that each did their own warm-up + initial fit.
+    #[test]
+    fn shared_warmup_forks_match_standalone_detectors_bitwise() {
+        use crate::drift::KswinDetector;
+        let series = smooth_series(160);
+        let warmup = 40;
+        let config = DetectorConfig {
+            window: 5,
+            channels: 2,
+            warmup,
+            initial_epochs: 2,
+            fine_tune_epochs: 1,
+        };
+        let drifts: [fn() -> Box<dyn DriftDetector>; 2] =
+            [|| Box::new(MuSigmaChange::new()), || Box::new(KswinDetector::new(0.01))];
+
+        let mut shared = SharedWarmup::new(
+            config.clone(),
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(10)),
+            drifts.iter().map(|d| d()).collect(),
+        );
+        assert!(shared.scorer_feedback_free());
+        for s in &series[..warmup] {
+            shared.step(s);
+        }
+        assert!(shared.is_warmed_up());
+        assert_eq!(shared.time(), warmup);
+
+        for (v, make_drift) in drifts.iter().enumerate() {
+            let mut fork = shared.fork(v, Box::new(MovingAverage::new(5)));
+            assert!(fork.is_warmed_up());
+            let mut standalone = Detector::new(
+                config.clone(),
+                Box::new(LastValueModel::default()),
+                Box::new(SlidingWindowSet::new(10)),
+                make_drift(),
+                Box::new(MovingAverage::new(5)),
+            );
+            for s in &series[..warmup] {
+                assert!(standalone.step(s).is_none());
+            }
+            for (i, s) in series[warmup..].iter().enumerate() {
+                let a = fork.step(s).expect("warmed fork emits every step");
+                let b = standalone.step(s).expect("warmed detector emits every step");
+                assert_eq!(a.t, b.t, "variant {v}, step {i}");
+                assert_eq!(
+                    a.nonconformity.to_bits(),
+                    b.nonconformity.to_bits(),
+                    "variant {v}, step {i}"
+                );
+                assert_eq!(
+                    a.anomaly_score.to_bits(),
+                    b.anomaly_score.to_bits(),
+                    "variant {v}, step {i}"
+                );
+                assert_eq!(a.drift, b.drift, "variant {v}, step {i}");
+                assert_eq!(a.fine_tuned, b.fine_tuned, "variant {v}, step {i}");
+            }
+            assert_eq!(fork.drift_times(), standalone.drift_times(), "variant {v}");
+            assert_eq!(fork.drift_ops(), standalone.drift_ops(), "variant {v}");
+        }
+    }
+
+    /// Forking before warm-up completes is allowed: the fork finishes
+    /// warm-up on its own and still matches a standalone detector.
+    #[test]
+    fn shared_warmup_early_fork_finishes_warmup_standalone() {
+        let series = smooth_series(80);
+        let config = DetectorConfig {
+            window: 5,
+            channels: 2,
+            warmup: 30,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        let mut shared = SharedWarmup::new(
+            config.clone(),
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(10)),
+            vec![Box::new(MuSigmaChange::new())],
+        );
+        for s in &series[..15] {
+            shared.step(s);
+        }
+        assert!(!shared.is_warmed_up());
+        let mut fork = shared.fork(0, Box::new(RawScore));
+        let mut standalone = Detector::new(
+            config,
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(10)),
+            Box::new(MuSigmaChange::new()),
+            Box::new(RawScore),
+        );
+        for s in &series[..15] {
+            assert!(standalone.step(s).is_none());
+        }
+        for s in &series[15..] {
+            let a = fork.step(s);
+            let b = standalone.step(s);
+            assert_eq!(a.is_some(), b.is_some());
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.anomaly_score.to_bits(), b.anomaly_score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fork instead")]
+    fn shared_warmup_step_past_warmup_panics() {
+        let series = smooth_series(25);
+        let mut shared = SharedWarmup::new(
+            DetectorConfig {
+                window: 5,
+                channels: 2,
+                warmup: 20,
+                initial_epochs: 1,
+                fine_tune_epochs: 1,
+            },
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(10)),
+            vec![Box::new(MuSigmaChange::new())],
+        );
+        for s in &series {
+            shared.step(s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one drift variant")]
+    fn shared_warmup_needs_a_variant() {
+        let _ = SharedWarmup::new(
+            DetectorConfig::small(2),
+            Box::new(LastValueModel::default()),
+            Box::new(SlidingWindowSet::new(10)),
+            Vec::new(),
+        );
     }
 
     #[test]

@@ -156,15 +156,15 @@ impl DriftDetector for MuSigmaChange {
         if stats.count() < 2 {
             return false;
         }
-        // RMS distance between the reference and current mean vectors.
-        let mean = stats.mean();
+        // RMS distance between the reference and current mean vectors,
+        // streamed per dimension (no temporary mean vector on the heap).
         let dist_sq: f64 = self
             .ref_mean
             .iter()
-            .zip(&mean)
+            .zip(stats.means())
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
-            / mean.len() as f64;
+            / stats.dim() as f64;
         let dist = dist_sq.sqrt();
         let sigma_t = stats.mean_std_dev();
         // per dim: mean (1 mul), diff² (1 add, 1 mul), variance (2 mul, 1 add), sqrt
@@ -177,7 +177,9 @@ impl DriftDetector for MuSigmaChange {
 
     fn on_fine_tune(&mut self, _train: &[FeatureVector]) {
         if let Some(stats) = &self.stats {
-            self.ref_mean = stats.mean();
+            // Reuse the reference buffer's capacity after the first snapshot.
+            self.ref_mean.clear();
+            self.ref_mean.extend(stats.means());
             self.ref_sigma = stats.mean_std_dev();
             self.has_ref = true;
         }

@@ -35,7 +35,7 @@ pub mod repr;
 pub mod score;
 pub mod strategy;
 
-pub use detector::{Detector, DetectorConfig, FanoutRun, StepOutput};
+pub use detector::{Detector, DetectorConfig, FanoutRun, SharedWarmup, StepOutput};
 pub use drift::{DriftDetector, KswinDetector, MuSigmaChange, RegularInterval};
 pub use model::{ModelOutput, StreamModel};
 pub use nonconformity::{nonconformity, NonconformityKind};

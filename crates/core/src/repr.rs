@@ -5,8 +5,6 @@
 //! one representation — the raw window `x_t = [s_{t−w+1}, …, s_t]ᵀ` — since
 //! the ML models learn their own representations internally (§IV-A).
 
-use std::collections::VecDeque;
-
 /// A feature vector `x_t ∈ R^{w×N}`: the last `w` stream vectors, stored
 /// row-major as `data[step * n + channel]` (oldest step first, so the last
 /// row is `s_t`).
@@ -75,6 +73,23 @@ impl FeatureVector {
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+
+    /// An all-zero feature vector of the given shape — a reusable scratch
+    /// buffer for [`RawWindow::push_into`].
+    pub fn zeroed(w: usize, n: usize) -> Self {
+        Self::new(vec![0.0; w * n], w, n)
+    }
+
+    /// Overwrites this vector's contents with `other`'s, without touching
+    /// the heap.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &FeatureVector) {
+        assert!(self.w == other.w && self.n == other.n, "feature vector shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
 }
 
 /// A data representation function `D` (Definition III.1).
@@ -94,23 +109,62 @@ pub trait DataRepresentation {
 }
 
 /// The paper's raw-window representation `x_t = [s_{t−w+1}, …, s_t]ᵀ`.
+///
+/// The history is a flat row-major ring (`w` rows of `n` values) so the
+/// per-step hot path touches no heap: [`Self::push_into`] overwrites the
+/// oldest row in place and copies the ordered window into a caller-owned
+/// scratch [`FeatureVector`].
 #[derive(Debug, Clone)]
 pub struct RawWindow {
     w: usize,
     n: usize,
-    buffer: VecDeque<Vec<f64>>,
+    /// Flat `w × n` ring storage; row `head` is the oldest once full.
+    ring: Vec<f64>,
+    /// Rows filled so far (saturates at `w`).
+    len: usize,
+    /// Index of the oldest row once the ring is full.
+    head: usize,
 }
 
 impl RawWindow {
     /// Creates the representation for window length `w` over `n` channels.
     pub fn new(w: usize, n: usize) -> Self {
         assert!(w > 0 && n > 0, "window and channel count must be positive");
-        Self { w, n, buffer: VecDeque::with_capacity(w) }
+        Self { w, n, ring: vec![0.0; w * n], len: 0, head: 0 }
     }
 
     /// Channel count `N`.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Pushes stream vector `s_t` without allocating: the ring row holding
+    /// the oldest step is overwritten in place, and once `w` vectors have
+    /// been observed the ordered window is copied into `out` (oldest step
+    /// first). Returns `true` iff `out` now holds `x_t`.
+    ///
+    /// # Panics
+    /// Panics if `s.len() != n` or `out`'s shape is not `(w, n)`.
+    pub fn push_into(&mut self, s: &[f64], out: &mut FeatureVector) -> bool {
+        assert_eq!(s.len(), self.n, "stream vector channel count mismatch");
+        assert!(out.w == self.w && out.n == self.n, "scratch feature vector shape mismatch");
+        let n = self.n;
+        if self.len < self.w {
+            self.ring[self.len * n..(self.len + 1) * n].copy_from_slice(s);
+            self.len += 1;
+            if self.len < self.w {
+                return false;
+            }
+        } else {
+            self.ring[self.head * n..(self.head + 1) * n].copy_from_slice(s);
+            self.head = (self.head + 1) % self.w;
+        }
+        // Unroll the ring into chronological order: rows head..w, then
+        // 0..head.
+        let tail_rows = self.w - self.head;
+        out.data[..tail_rows * n].copy_from_slice(&self.ring[self.head * n..]);
+        out.data[tail_rows * n..].copy_from_slice(&self.ring[..self.head * n]);
+        true
     }
 }
 
@@ -120,23 +174,13 @@ impl DataRepresentation for RawWindow {
     }
 
     fn push(&mut self, s: &[f64]) -> Option<FeatureVector> {
-        assert_eq!(s.len(), self.n, "stream vector channel count mismatch");
-        if self.buffer.len() == self.w {
-            self.buffer.pop_front();
-        }
-        self.buffer.push_back(s.to_vec());
-        if self.buffer.len() < self.w {
-            return None;
-        }
-        let mut data = Vec::with_capacity(self.w * self.n);
-        for row in &self.buffer {
-            data.extend_from_slice(row);
-        }
-        Some(FeatureVector::new(data, self.w, self.n))
+        let mut out = FeatureVector::zeroed(self.w, self.n);
+        self.push_into(s, &mut out).then_some(out)
     }
 
     fn reset(&mut self) {
-        self.buffer.clear();
+        self.len = 0;
+        self.head = 0;
     }
 }
 
@@ -181,6 +225,49 @@ mod tests {
         repr.push(&[2.0]);
         repr.reset();
         assert!(repr.push(&[3.0]).is_none());
+    }
+
+    #[test]
+    fn push_into_matches_push_bitwise() {
+        let mut a = RawWindow::new(4, 2);
+        let mut b = RawWindow::new(4, 2);
+        let mut scratch = FeatureVector::zeroed(4, 2);
+        for t in 0..30 {
+            let s = [(t as f64 * 0.37).sin(), (t as f64 * 0.11).cos()];
+            let via_push = a.push(&s);
+            let filled = b.push_into(&s, &mut scratch);
+            assert_eq!(via_push.is_some(), filled, "t={t}");
+            if let Some(x) = via_push {
+                assert_eq!(x.as_slice(), scratch.as_slice(), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_into_survives_reset() {
+        let mut repr = RawWindow::new(2, 1);
+        let mut scratch = FeatureVector::zeroed(2, 1);
+        assert!(!repr.push_into(&[1.0], &mut scratch));
+        assert!(repr.push_into(&[2.0], &mut scratch));
+        repr.reset();
+        assert!(!repr.push_into(&[3.0], &mut scratch));
+        assert!(repr.push_into(&[4.0], &mut scratch));
+        assert_eq!(scratch.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut dst = FeatureVector::zeroed(2, 2);
+        let src = FeatureVector::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        dst.copy_from(&src);
+        assert_eq!(dst.as_slice(), src.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_shape_mismatch_panics() {
+        let mut dst = FeatureVector::zeroed(2, 2);
+        dst.copy_from(&FeatureVector::zeroed(2, 3));
     }
 
     #[test]

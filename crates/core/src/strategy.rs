@@ -58,6 +58,15 @@ pub trait TrainingSetStrategy {
         true
     }
 
+    /// Hands an evicted feature vector back to the strategy for reuse.
+    ///
+    /// The detector hot loop calls this with the `Replaced.removed` buffer
+    /// once the drift detector is done reading it; strategies keep it as a
+    /// spare and overwrite it on the next insertion instead of cloning
+    /// `x_t`, making the steady-state update allocation-free. Purely an
+    /// optimization: dropping the buffer (the default) is always correct.
+    fn recycle(&mut self, _spare: FeatureVector) {}
+
     /// The current training set (order unspecified).
     fn training_set(&self) -> &[FeatureVector];
 
@@ -84,6 +93,19 @@ impl Clone for Box<dyn TrainingSetStrategy> {
     }
 }
 
+/// Materializes `x` into a recycled spare buffer when one with the right
+/// shape is available, cloning only as a fallback. The stored values are
+/// identical either way, so reuse cannot perturb the trajectory.
+fn store(spare: &mut Option<FeatureVector>, x: &FeatureVector) -> FeatureVector {
+    match spare.take() {
+        Some(mut buf) if buf.w() == x.w() && buf.n() == x.n() => {
+            buf.copy_from(x);
+            buf
+        }
+        _ => x.clone(),
+    }
+}
+
 /// Sliding window: keep the `m` most recent feature vectors.
 #[derive(Debug, Clone)]
 pub struct SlidingWindowSet {
@@ -92,13 +114,14 @@ pub struct SlidingWindowSet {
     // as a contiguous slice, which the trait requires.
     set: Vec<FeatureVector>,
     next: usize,
+    spare: Option<FeatureVector>,
 }
 
 impl SlidingWindowSet {
     /// Creates a sliding window of capacity `m`.
     pub fn new(m: usize) -> Self {
         assert!(m > 0, "training-set capacity must be positive");
-        Self { m, set: Vec::with_capacity(m), next: 0 }
+        Self { m, set: Vec::with_capacity(m), next: 0, spare: None }
     }
 }
 
@@ -108,17 +131,22 @@ impl TrainingSetStrategy for SlidingWindowSet {
     }
 
     fn update(&mut self, x: &FeatureVector, _anomaly_score: f64) -> SetUpdate {
+        let stored = store(&mut self.spare, x);
         if self.set.len() < self.m {
-            self.set.push(x.clone());
+            self.set.push(stored);
             return SetUpdate::Appended;
         }
-        let removed = std::mem::replace(&mut self.set[self.next], x.clone());
+        let removed = std::mem::replace(&mut self.set[self.next], stored);
         self.next = (self.next + 1) % self.m;
         SetUpdate::Replaced { removed }
     }
 
     fn uses_anomaly_feedback(&self) -> bool {
         false
+    }
+
+    fn recycle(&mut self, spare: FeatureVector) {
+        self.spare = Some(spare);
     }
 
     fn training_set(&self) -> &[FeatureVector] {
@@ -141,13 +169,14 @@ pub struct UniformReservoir {
     t: u64,
     set: Vec<FeatureVector>,
     rng: StdRng,
+    spare: Option<FeatureVector>,
 }
 
 impl UniformReservoir {
     /// Creates a reservoir of capacity `m` with a deterministic seed.
     pub fn new(m: usize, seed: u64) -> Self {
         assert!(m > 0, "training-set capacity must be positive");
-        Self { m, t: 0, set: Vec::with_capacity(m), rng: StdRng::seed_from_u64(seed) }
+        Self { m, t: 0, set: Vec::with_capacity(m), rng: StdRng::seed_from_u64(seed), spare: None }
     }
 }
 
@@ -159,13 +188,13 @@ impl TrainingSetStrategy for UniformReservoir {
     fn update(&mut self, x: &FeatureVector, _anomaly_score: f64) -> SetUpdate {
         self.t += 1;
         if self.set.len() < self.m {
-            self.set.push(x.clone());
+            self.set.push(store(&mut self.spare, x));
             return SetUpdate::Appended;
         }
         let p: f64 = self.rng.random_range(0.0..1.0);
         if p < self.m as f64 / self.t as f64 {
             let victim = self.rng.random_range(0..self.m);
-            let removed = std::mem::replace(&mut self.set[victim], x.clone());
+            let removed = std::mem::replace(&mut self.set[victim], store(&mut self.spare, x));
             SetUpdate::Replaced { removed }
         } else {
             SetUpdate::Unchanged
@@ -174,6 +203,10 @@ impl TrainingSetStrategy for UniformReservoir {
 
     fn uses_anomaly_feedback(&self) -> bool {
         false
+    }
+
+    fn recycle(&mut self, spare: FeatureVector) {
+        self.spare = Some(spare);
     }
 
     fn training_set(&self) -> &[FeatureVector] {
@@ -200,6 +233,7 @@ pub struct AnomalyAwareReservoir {
     lambda2: f64,
     u_lo: f64,
     u_hi: f64,
+    spare: Option<FeatureVector>,
 }
 
 impl AnomalyAwareReservoir {
@@ -223,6 +257,7 @@ impl AnomalyAwareReservoir {
             lambda2,
             u_lo,
             u_hi,
+            spare: None,
         }
     }
 
@@ -258,18 +293,22 @@ impl TrainingSetStrategy for AnomalyAwareReservoir {
     fn update(&mut self, x: &FeatureVector, anomaly_score: f64) -> SetUpdate {
         let p_t = self.priority(anomaly_score);
         if self.set.len() < self.m {
-            self.set.push(x.clone());
+            self.set.push(store(&mut self.spare, x));
             self.priorities.push(p_t);
             return SetUpdate::Appended;
         }
         match self.eviction_candidate(p_t) {
             Some(idx) => {
-                let removed = std::mem::replace(&mut self.set[idx], x.clone());
+                let removed = std::mem::replace(&mut self.set[idx], store(&mut self.spare, x));
                 self.priorities[idx] = p_t;
                 SetUpdate::Replaced { removed }
             }
             None => SetUpdate::Unchanged,
         }
+    }
+
+    fn recycle(&mut self, spare: FeatureVector) {
+        self.spare = Some(spare);
     }
 
     /// ARES priorities are a function of `f_t`, so the detector trajectory
@@ -419,6 +458,38 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = SlidingWindowSet::new(0);
+    }
+
+    /// Recycling evicted buffers must be invisible: a strategy whose
+    /// `Replaced` buffers are handed back produces the exact same update
+    /// stream and training set as one that lets them drop.
+    #[test]
+    fn recycle_is_bitwise_transparent() {
+        let make = |which: u8| -> Box<dyn TrainingSetStrategy> {
+            match which {
+                0 => Box::new(SlidingWindowSet::new(7)),
+                1 => Box::new(UniformReservoir::new(7, 99)),
+                _ => Box::new(AnomalyAwareReservoir::new(7, 99)),
+            }
+        };
+        for which in 0..3u8 {
+            let mut recycled = make(which);
+            let mut plain = make(which);
+            for i in 0..120 {
+                let x = fv(i as f64 * 0.31);
+                let f = ((i * 13) % 10) as f64 / 10.0;
+                let a = recycled.update(&x, f);
+                let b = plain.update(&x, f);
+                assert_eq!(a, b, "strategy {which}, step {i}");
+                if let SetUpdate::Replaced { removed } = a {
+                    recycled.recycle(removed);
+                }
+            }
+            assert_eq!(recycled.len(), plain.len());
+            for (a, b) in recycled.training_set().iter().zip(plain.training_set()) {
+                assert_eq!(a.as_slice(), b.as_slice(), "strategy {which}");
+            }
+        }
     }
 
     mod props {

@@ -10,7 +10,7 @@ use crate::{NBeats, OnlineArima, PcbIForestModel, TwoLayerAe, Usad};
 use sad_core::{
     AlgorithmSpec, AnomalyLikelihood, AnomalyScorer, Detector, DetectorConfig, DriftDetector,
     KswinDetector, ModelKind, MovingAverage, MuSigmaChange, RawScore, ScoreKind, ScorerBank,
-    StreamModel, Task1, Task2, TrainingSetStrategy,
+    SharedWarmup, StreamModel, Task1, Task2, TrainingSetStrategy,
 };
 use sad_core::{AnomalyAwareReservoir, SlidingWindowSet, UniformReservoir};
 
@@ -168,6 +168,30 @@ pub fn build_detector(spec: AlgorithmSpec, params: &BuildParams) -> Detector {
     )
 }
 
+/// Assembles a [`SharedWarmup`] driver for one `(model, Task1)` pair over
+/// several Task-2 drift variants — the root of the shared-prefix
+/// evaluation tree.
+///
+/// Every component is built exactly as [`build_detector`] would build it
+/// for the corresponding `(model, task1, task2)` spec: the component seeds
+/// are independent of each other and of the variant list, so a fork from
+/// the returned driver is bitwise identical to the standalone detector.
+/// The fitted model is assembled into per-variant [`Detector`]s via
+/// [`SharedWarmup::fork`].
+pub fn build_shared_warmup(
+    model: ModelKind,
+    task1: Task1,
+    task2s: &[Task2],
+    params: &BuildParams,
+) -> SharedWarmup {
+    SharedWarmup::new(
+        params.config.clone(),
+        build_model(model, params),
+        build_task1(task1, params),
+        task2s.iter().map(|&task2| build_task2(task2, params)).collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +266,45 @@ mod tests {
             bank.update_into(a, &mut out);
             for (k, scorer) in standalone.iter_mut().enumerate() {
                 assert_eq!(out[k].to_bits(), scorer.update(a).to_bits(), "scorer {k}");
+            }
+        }
+    }
+
+    /// A shared warm-up over both drift variants of an AE pair forks into
+    /// detectors bitwise identical to standalone `build_detector` runs.
+    #[test]
+    fn shared_warmup_forks_match_built_detectors_bitwise() {
+        let params = tiny_params();
+        let series = smooth_series(110);
+        let warm = params.config.warmup;
+        let pair: Vec<_> = paper_algorithms()
+            .into_iter()
+            .filter(|s| s.model == ModelKind::TwoLayerAe && s.task1 == Task1::SlidingWindow)
+            .collect();
+        assert_eq!(pair.len(), 2, "AE/SW must have exactly the two drift variants");
+
+        let task2s: Vec<Task2> = pair.iter().map(|s| s.task2).collect();
+        let mut shared =
+            build_shared_warmup(ModelKind::TwoLayerAe, Task1::SlidingWindow, &task2s, &params);
+        for s in &series[..warm] {
+            shared.step(s);
+        }
+        for (v, &spec) in pair.iter().enumerate() {
+            let mut fork = shared.fork(v, build_scorer(params.score, &params));
+            let mut standalone = build_detector(spec, &params);
+            for s in &series[..warm] {
+                assert!(standalone.step(s).is_none());
+            }
+            for (i, s) in series[warm..].iter().enumerate() {
+                let a = fork.step(s).unwrap();
+                let b = standalone.step(s).unwrap();
+                assert_eq!(
+                    a.anomaly_score.to_bits(),
+                    b.anomaly_score.to_bits(),
+                    "{}: step {i}",
+                    spec.label()
+                );
+                assert_eq!(a.drift, b.drift, "{}: step {i}", spec.label());
             }
         }
     }

@@ -36,8 +36,8 @@ pub mod var;
 pub use ae::TwoLayerAe;
 pub use arima::OnlineArima;
 pub use builder::{
-    build_detector, build_model, build_scorer, build_scorer_bank, build_task1, build_task2,
-    BuildParams,
+    build_detector, build_model, build_scorer, build_scorer_bank, build_shared_warmup,
+    build_task1, build_task2, BuildParams,
 };
 pub use knn::KnnDistanceModel;
 pub use nbeats::{BasisKind, NBeats};

@@ -169,7 +169,14 @@ impl VectorRunningStats {
 
     /// Mean feature vector.
     pub fn mean(&self) -> Vec<f64> {
-        self.dims.iter().map(RunningStats::mean).collect()
+        self.means().collect()
+    }
+
+    /// Per-dimension means as a lazy iterator — the allocation-free
+    /// counterpart of [`Self::mean`] for per-step hot paths (each value is
+    /// the identical `sum / n` division, so the two are bitwise equal).
+    pub fn means(&self) -> impl Iterator<Item = f64> + '_ {
+        self.dims.iter().map(RunningStats::mean)
     }
 
     /// Per-dimension population standard deviation.
