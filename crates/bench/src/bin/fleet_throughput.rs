@@ -1,0 +1,200 @@
+//! Fleet serving throughput: cross-stream batched NN stepping vs the
+//! scalar per-stream path (§E11 of EXPERIMENTS.md).
+//!
+//! Scenario: one AE rolled out to a fleet of identical streams — the
+//! replica-serving pattern where the batched path is eligible end to end.
+//! Every detector is built with the same seed and fed the same
+//! window-periodic (drift-free) 38-channel stream, so all fleet members
+//! stay one weight cohort and the steady state is pure inference: the
+//! measured delta is exactly the shared `forward_batch` against N scalar
+//! `predict` calls, single-threaded (shards = 1, parallel off — the
+//! batching win must not lean on parallelism).
+//!
+//! Writes `bench_output/fleet_throughput.json`: per fleet size, both
+//! modes' steps/sec, round-latency p50/p99, and the cohort counters
+//! proving the batched runs actually amortized (rows/pass ≈ fleet size,
+//! one cohort rebuild at group formation).
+//!
+//! ```sh
+//! cargo run --release --bin fleet_throughput            # quick (default)
+//! cargo run --release --bin fleet_throughput -- --full  # more rounds
+//! ```
+
+use std::time::Instant;
+
+use sad_core::{paper_algorithms, AlgorithmSpec, Detector, DetectorConfig, ModelKind, ScoreKind};
+use sad_fleet::{DetectorFleet, FleetConfig, FleetStats};
+use sad_models::{build_detector, BuildParams};
+
+const CHANNELS: usize = 38;
+const WINDOW: usize = 10;
+const WARMUP: usize = 200;
+const SEED: u64 = 42;
+
+/// Window-periodic stream: every length-10 window holds the same multiset
+/// of values per channel, so the training-set statistics are constant,
+/// μ/σ-Change never fires, and the timed region never fine-tunes.
+fn stream_vector(t: usize, buf: &mut [f64]) {
+    let phase = std::f64::consts::TAU * (t % WINDOW) as f64 / WINDOW as f64;
+    for (c, v) in buf.iter_mut().enumerate() {
+        let scale = 1.0 + c as f64 * 0.1;
+        *v = (phase + c as f64 * 0.37).sin() * scale + c as f64;
+    }
+}
+
+fn ae_spec() -> AlgorithmSpec {
+    paper_algorithms()
+        .into_iter()
+        .find(|s| {
+            s.model == ModelKind::TwoLayerAe
+                && s.label().contains("SW")
+                && s.label().contains("μ")
+        })
+        .expect("AE / SW / μσ is in Table I")
+}
+
+fn detector() -> Detector {
+    let config = DetectorConfig {
+        window: WINDOW,
+        channels: CHANNELS,
+        warmup: WARMUP,
+        initial_epochs: 4,
+        fine_tune_epochs: 1,
+    };
+    let params = BuildParams::new(config)
+        .with_capacity(32)
+        .with_score(ScoreKind::Raw)
+        .with_seed(SEED);
+    build_detector(ae_spec(), &params)
+}
+
+struct ModeResult {
+    steps: usize,
+    steps_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    stats: FleetStats,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// Serves `rounds` timed rounds (after untimed warm-up + settling) on a
+/// fresh fleet of `n` identically-seeded detectors.
+fn serve(n: usize, batching: bool, rounds: usize) -> ModeResult {
+    let detectors: Vec<Detector> = (0..n).map(|_| detector()).collect();
+    let config = FleetConfig { shards: 1, batching, parallel: false, queue_capacity: 4 };
+    let mut fleet = DetectorFleet::new(detectors, config);
+
+    let mut buf = vec![0.0; CHANNELS];
+    let mut out = Vec::new();
+    let mut t = 0usize;
+    // Untimed: warm-up, the initial fit, group/cohort formation, and
+    // buffer right-sizing, so the timed region is steady state only.
+    for _ in 0..WARMUP + 32 {
+        stream_vector(t, &mut buf);
+        for i in 0..n {
+            assert!(fleet.enqueue(i, &buf));
+        }
+        fleet.drain_round(&mut out);
+        t += 1;
+    }
+    let settled = fleet.stats();
+
+    let mut round_ns: Vec<u64> = Vec::with_capacity(rounds);
+    let timed = Instant::now();
+    for _ in 0..rounds {
+        stream_vector(t, &mut buf);
+        for i in 0..n {
+            assert!(fleet.enqueue(i, &buf));
+        }
+        let start = Instant::now();
+        fleet.drain_round(&mut out);
+        round_ns.push(start.elapsed().as_nanos() as u64);
+        t += 1;
+    }
+    let wall = timed.elapsed().as_secs_f64();
+
+    let stats = fleet.stats();
+    assert_eq!(stats.cohort_rebuilds, settled.cohort_rebuilds, "timed region must not fine-tune");
+    let steps = stats.steps - settled.steps;
+    assert_eq!(steps, rounds * n, "every stream serves every round");
+    if batching {
+        assert_eq!(
+            stats.batched_rows - settled.batched_rows,
+            steps,
+            "identical replicas must stay one cohort",
+        );
+    } else {
+        assert_eq!(stats.batched_rows, 0, "batching off must stay scalar");
+    }
+
+    round_ns.sort_unstable();
+    ModeResult {
+        steps,
+        steps_per_sec: steps as f64 / wall.max(1e-12),
+        p50_us: percentile_us(&round_ns, 0.50),
+        p99_us: percentile_us(&round_ns, 0.99),
+        stats,
+    }
+}
+
+fn json_mode(r: &ModeResult) -> String {
+    format!(
+        "{{\"steps\": {}, \"steps_per_sec\": {:.1}, \"round_p50_us\": {:.2}, \
+         \"round_p99_us\": {:.2}, \"batched_rows\": {}, \"batches\": {}, \
+         \"cohort_rebuilds\": {}}}",
+        r.steps,
+        r.steps_per_sec,
+        r.p50_us,
+        r.p99_us,
+        r.stats.batched_rows,
+        r.stats.batches,
+        r.stats.cohort_rebuilds,
+    )
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let rounds = if full { 1200 } else { 400 };
+    let sizes: &[usize] = &[8, 64];
+
+    println!(
+        "fleet throughput: AE w={WINDOW} x {CHANNELS}ch, warm-up {WARMUP}, {rounds} timed rounds, single-threaded",
+    );
+    let mut entries = Vec::new();
+    for &n in sizes {
+        let batched = serve(n, true, rounds);
+        let scalar = serve(n, false, rounds);
+        let speedup = batched.steps_per_sec / scalar.steps_per_sec.max(1e-12);
+        println!(
+            "  {n:>3} streams: batched {:>9.0} steps/s (p50 {:>7.1} us)  scalar {:>9.0} steps/s (p50 {:>7.1} us)  speedup {speedup:.2}x",
+            batched.steps_per_sec, batched.p50_us, scalar.steps_per_sec, scalar.p50_us,
+        );
+        entries.push(format!(
+            "    {{\"streams\": {n}, \"speedup\": {speedup:.3},\n      \"batched\": {},\n      \"scalar\": {}}}",
+            json_mode(&batched),
+            json_mode(&scalar),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"harness\": \"fleet_throughput\",\n  \"profile\": \"{}\",\n  \
+         \"model\": \"2-layer AE / SW / μ/σ\",\n  \"window\": {WINDOW},\n  \
+         \"channels\": {CHANNELS},\n  \"warmup\": {WARMUP},\n  \"rounds\": {rounds},\n  \
+         \"shards\": 1,\n  \"parallel\": false,\n  \"fleets\": [\n{}\n  ]\n}}\n",
+        if full { "full" } else { "quick" },
+        entries.join(",\n"),
+    );
+    match std::fs::create_dir_all("bench_output")
+        .and_then(|()| std::fs::write("bench_output/fleet_throughput.json", &json))
+    {
+        Ok(()) => println!("-> bench_output/fleet_throughput.json"),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

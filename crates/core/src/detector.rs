@@ -15,7 +15,7 @@
 //!    the Table I caption).
 
 use crate::drift::DriftDetector;
-use crate::model::StreamModel;
+use crate::model::{ModelOutput, StreamModel};
 use crate::nonconformity::nonconformity;
 use crate::repr::{FeatureVector, RawWindow};
 use crate::score::{AnomalyScorer, ScorerBank};
@@ -89,6 +89,9 @@ pub struct Detector {
     scratch: FeatureVector,
     t: usize,
     warmed_up: bool,
+    /// Split-step guard: set by a `true` [`Detector::begin_step`], cleared
+    /// by [`Detector::finish_step`].
+    mid_step: bool,
     drift_times: Vec<usize>,
     fine_tunes: usize,
     /// Cumulative wall time spent inside the model's training entry points
@@ -124,6 +127,7 @@ impl Detector {
             scratch,
             t: 0,
             warmed_up: false,
+            mid_step: false,
             drift_times: Vec::new(),
             fine_tunes: 0,
             train_time: std::time::Duration::ZERO,
@@ -171,7 +175,32 @@ impl Detector {
         s: &[f64],
         bank: Option<(&mut ScorerBank, &mut Vec<f64>)>,
     ) -> Option<StepOutput> {
-        let t = self.t;
+        if !self.begin_step(s) {
+            return None;
+        }
+        let output = self.model.predict(&self.scratch);
+        Some(self.finish_step_banked(&output, bank))
+    }
+
+    /// First half of the split-step API used by external serving layers
+    /// (the fleet's cross-stream batched stepping): ingests `s_t` into the
+    /// representation and runs the whole warm-up state machine.
+    ///
+    /// Returns `true` when the detector is warmed up and a feature vector
+    /// is ready in [`Self::feature`] — the caller must then compute the
+    /// model output (e.g. via a shared batched forward pass) and complete
+    /// the step with [`Self::finish_step`]. Returns `false` during warm-up,
+    /// including the step on which the initial fit runs; no
+    /// [`Self::finish_step`] call must follow a `false` return.
+    ///
+    /// `begin_step` followed by `model().predict(feature())` and
+    /// `finish_step` is exactly [`Self::step`].
+    ///
+    /// # Panics
+    /// Panics if `s.len() != config.channels`, or when called again before
+    /// a `true` return was consumed by [`Self::finish_step`].
+    pub fn begin_step(&mut self, s: &[f64]) -> bool {
+        assert!(!self.mid_step, "begin_step called twice without finish_step");
         self.t += 1;
         let has_x = self.repr.push_into(s, &mut self.scratch);
 
@@ -194,12 +223,44 @@ impl Detector {
                 self.drift.on_fine_tune(self.strategy.training_set());
                 self.warmed_up = true;
             }
-            return None;
+            return false;
         }
 
         assert!(has_x, "window is full after warm-up");
-        let output = self.model.predict(&self.scratch);
-        let a_t = nonconformity(&self.scratch, &output);
+        self.mid_step = true;
+        true
+    }
+
+    /// The feature vector `x_t` produced by the last [`Self::begin_step`]
+    /// (valid between a `true` `begin_step` and its `finish_step`).
+    pub fn feature(&self) -> &FeatureVector {
+        &self.scratch
+    }
+
+    /// Second half of the split-step API: completes the step begun by a
+    /// `true` [`Self::begin_step`] using an externally-computed model
+    /// output for [`Self::feature`].
+    ///
+    /// Feeding back `model().predict(feature())` reproduces [`Self::step`]
+    /// bitwise; the fleet instead feeds the per-row result of one shared
+    /// batched forward pass (proven bitwise-identical to per-stream
+    /// inference).
+    ///
+    /// # Panics
+    /// Panics if no step is in progress.
+    pub fn finish_step(&mut self, output: &ModelOutput) -> StepOutput {
+        self.finish_step_banked(output, None)
+    }
+
+    fn finish_step_banked(
+        &mut self,
+        output: &ModelOutput,
+        bank: Option<(&mut ScorerBank, &mut Vec<f64>)>,
+    ) -> StepOutput {
+        assert!(self.mid_step, "finish_step without a pending begin_step");
+        self.mid_step = false;
+        let t = self.t - 1;
+        let a_t = nonconformity(&self.scratch, output);
         let f_t = self.scorer.update(a_t);
         if let Some((bank, out)) = bank {
             bank.update_into(a_t, out);
@@ -226,7 +287,7 @@ impl Detector {
                 self.fine_tunes += 1;
             }
         }
-        Some(StepOutput { t, nonconformity: a_t, anomaly_score: f_t, drift, fine_tuned })
+        StepOutput { t, nonconformity: a_t, anomaly_score: f_t, drift, fine_tuned }
     }
 
     /// Expected number of outputs from streaming `len` more vectors (the
@@ -353,6 +414,11 @@ impl Detector {
     /// The embedded model (e.g. to inspect it in experiments).
     pub fn model(&self) -> &dyn StreamModel {
         self.model.as_ref()
+    }
+
+    /// The detector's static configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
     }
 
     /// The Task-1 strategy's current training set.
@@ -493,6 +559,7 @@ impl SharedWarmup {
             scratch: self.scratch.clone(),
             t: self.t,
             warmed_up: self.warmed_up,
+            mid_step: false,
             drift_times: Vec::new(),
             fine_tunes: 0,
             train_time: self.train_time,
@@ -900,6 +967,73 @@ mod tests {
             Box::new(SlidingWindowSet::new(10)),
             Vec::new(),
         );
+    }
+
+    /// The split-step contract behind the fleet: `begin_step` +
+    /// `model().predict(feature())` + `finish_step` reproduces `step`
+    /// bitwise — across warm-up, the fitting step, steady state, and
+    /// forced fine-tune events.
+    #[test]
+    fn split_step_matches_step_bitwise() {
+        let series = smooth_series(80);
+        let config = DetectorConfig {
+            window: 4,
+            channels: 2,
+            warmup: 15,
+            initial_epochs: 1,
+            fine_tune_epochs: 1,
+        };
+        let build = || {
+            Detector::new(
+                config.clone(),
+                Box::new(LastValueModel::default()),
+                Box::new(SlidingWindowSet::new(8)),
+                Box::new(RegularInterval::new(7)),
+                Box::new(MovingAverage::new(5)),
+            )
+        };
+        let mut whole = build();
+        let mut split = build();
+        for (i, s) in series.iter().enumerate() {
+            let a = whole.step(s);
+            let b = if split.begin_step(s) {
+                // Mirror `advance`: predict on the scratch feature, then
+                // complete the step with the externally-held output.
+                let output = split.model.predict(&split.scratch);
+                Some(split.finish_step(&output))
+            } else {
+                None
+            };
+            assert_eq!(a.is_some(), b.is_some(), "step {i}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.t, b.t, "step {i}");
+                assert_eq!(a.nonconformity.to_bits(), b.nonconformity.to_bits(), "step {i}");
+                assert_eq!(a.anomaly_score.to_bits(), b.anomaly_score.to_bits(), "step {i}");
+                assert_eq!(a.drift, b.drift, "step {i}");
+                assert_eq!(a.fine_tuned, b.fine_tuned, "step {i}");
+            }
+        }
+        assert_eq!(whole.drift_times(), split.drift_times());
+        assert_eq!(whole.fine_tune_count(), split.fine_tune_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_step without a pending begin_step")]
+    fn finish_step_without_begin_panics() {
+        let mut det = make_detector(20);
+        let _ = det.finish_step(&ModelOutput::Score(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step called twice")]
+    fn double_begin_step_panics() {
+        let mut det = make_detector(5);
+        let series = smooth_series(10);
+        for s in &series[..6] {
+            det.step(s);
+        }
+        assert!(det.begin_step(&series[6]));
+        let _ = det.begin_step(&series[7]);
     }
 
     #[test]

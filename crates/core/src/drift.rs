@@ -25,7 +25,7 @@ use sad_stats::{ks_critical_value, ks_statistic_sorted, OpCount, VectorRunningSt
 
 /// A Task-2 strategy: decides at every step whether the model should be
 /// fine-tuned on the current training set.
-pub trait DriftDetector {
+pub trait DriftDetector: Send {
     /// Short name matching the paper ("Regular", "μ/σ", "KS").
     fn name(&self) -> &'static str;
 

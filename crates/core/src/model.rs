@@ -33,7 +33,7 @@ pub enum ModelOutput {
 ///    detector fires, on the then-current training set (paper Table I
 ///    caption: "the ML model will be trained on the training set for one
 ///    epoch").
-pub trait StreamModel {
+pub trait StreamModel: Send {
     /// Human-readable model name (e.g. `"USAD"`).
     fn name(&self) -> &'static str;
 
@@ -49,6 +49,17 @@ pub trait StreamModel {
     /// Clones the model behind the trait object (needed by the Fig. 1
     /// fine-tune-vs-frozen fork experiment).
     fn clone_box(&self) -> Box<dyn StreamModel>;
+
+    /// Concrete-type escape hatch for serving layers that recognize
+    /// specific model families (e.g. the fleet's cross-stream batched
+    /// NN stepping downcasts to the AE/USAD/N-BEATS types to read their
+    /// networks and scalers).
+    ///
+    /// The default `None` keeps every existing model opaque; models that
+    /// opt into external inference override this with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 impl Clone for Box<dyn StreamModel> {

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 
 /// An anomaly scoring function `F` consuming one nonconformity score per
 /// step and emitting the final anomaly score `f_t ∈ [0, 1]`.
-pub trait AnomalyScorer {
+pub trait AnomalyScorer: Send {
     /// Short name ("Raw", "Avg", "AL").
     fn name(&self) -> &'static str;
 

@@ -38,7 +38,7 @@ pub enum SetUpdate {
 
 /// A Task-1 learning strategy: decides how and when the training set is
 /// updated (paper §IV-B, Task 1).
-pub trait TrainingSetStrategy {
+pub trait TrainingSetStrategy: Send {
     /// Short name matching the paper's Table I ("SW", "URES", "ARES").
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,586 @@
+//! # sad-fleet
+//!
+//! Multi-stream serving: a sharded [`DetectorFleet`] owning N independent
+//! `sad_core::Detector` instances — one per monitored entity (SMD server,
+//! user session, …) — partitioned deterministically across worker shards
+//! and fed through per-stream input queues.
+//!
+//! ## Cross-stream batched stepping
+//!
+//! The headline optimisation: within a shard, streams whose models share
+//! the same NN architecture (AE/USAD/N-BEATS with identical layer
+//! dimensions — `sad_models::batch_arch_key`) form an *arch group*.
+//! Inside a group, streams whose models are **bitwise-identical in every
+//! parameter `predict` reads** (`sad_models::infer_state_equal`) form a
+//! *cohort*; each cohort's per-step feature windows are packed into one
+//! row-major matrix and pushed through a single `Mlp::forward_batch` per
+//! sub-network via a shared inference workspace
+//! (`sad_models::InferBatch`), amortizing inference the way the training
+//! workspace amortizes fine-tuning. `forward_batch` computes every output
+//! row independently and identically to `Mlp::infer`, so the batched path
+//! is bitwise identical to N scalar `Detector::step` calls — the
+//! `fleet_parity` suite proves it in the same style as `tree_parity.rs`.
+//!
+//! Cohorts are maintained exactly: parameters are only compared on
+//! *training events* (a member joins at its warm-up fit; a member is
+//! re-cohorted after any fine-tune in its group), never per step. Streams
+//! whose models never materialize a batchable network (PCB-iForest,
+//! ARIMA, kNN, …) — and every stream when `FleetConfig::batching` is off
+//! — run the plain scalar `Detector::step` path.
+//!
+//! ## Sharding
+//!
+//! Stream `i` lives on shard `i % shards` (deterministic, so parity holds
+//! at any shard count). Shards own disjoint state; with
+//! `FleetConfig::parallel` a drain round runs one scoped thread per shard
+//! (the PR 1 scoped-thread pattern). Outputs are always scattered back
+//! into stream-id order, so results are byte-identical across shard
+//! counts and parallelism settings.
+
+use sad_core::{Detector, ModelOutput, StepOutput};
+use sad_models::{batch_arch_key, infer_state_equal, ArchKey, InferBatch};
+
+/// Static configuration of a [`DetectorFleet`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards (stream `i` → shard `i % shards`).
+    pub shards: usize,
+    /// Enables cross-stream batched NN stepping (off = every stream runs
+    /// the scalar `Detector::step` path).
+    pub batching: bool,
+    /// Drains shards on one scoped thread each. Off by default: the
+    /// batching win is orthogonal to parallelism and benches honestly on
+    /// a single core.
+    pub parallel: bool,
+    /// Per-stream input queue capacity (stream vectors).
+    pub queue_capacity: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self { shards: 1, batching: true, parallel: false, queue_capacity: 64 }
+    }
+}
+
+/// Cumulative serving counters (summed over shards by
+/// [`DetectorFleet::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Detector steps completed (warm-up steps included).
+    pub steps: usize,
+    /// Steps served through the scalar per-stream path.
+    pub scalar_steps: usize,
+    /// Steps served through a shared batched forward pass.
+    pub batched_rows: usize,
+    /// Batched forward passes executed (`batched_rows / batches` = mean
+    /// rows amortized per pass).
+    pub batches: usize,
+    /// Cohort rebuilds triggered by training events.
+    pub cohort_rebuilds: usize,
+}
+
+/// Fixed-capacity ring queue of `n`-channel stream vectors. Steady-state
+/// push/pop never allocates.
+struct RingQueue {
+    buf: Vec<f64>,
+    n: usize,
+    cap: usize,
+    head: usize,
+    len: usize,
+}
+
+impl RingQueue {
+    fn new(n: usize, cap: usize) -> Self {
+        assert!(n > 0 && cap > 0, "queue dimensions must be positive");
+        Self { buf: vec![0.0; n * cap], n, cap, head: 0, len: 0 }
+    }
+
+    /// Enqueues one stream vector; `false` when full (caller backpressure).
+    fn push(&mut self, s: &[f64]) -> bool {
+        assert_eq!(s.len(), self.n, "stream vector has wrong channel count");
+        if self.len == self.cap {
+            return false;
+        }
+        let slot = (self.head + self.len) % self.cap;
+        self.buf[slot * self.n..(slot + 1) * self.n].copy_from_slice(s);
+        self.len += 1;
+        true
+    }
+
+    fn front(&self) -> Option<&[f64]> {
+        (self.len > 0).then(|| &self.buf[self.head * self.n..(self.head + 1) * self.n])
+    }
+
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0, "pop from empty queue");
+        self.head = (self.head + 1) % self.cap;
+        self.len -= 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// One stream's state on its shard.
+struct StreamSlot {
+    /// Global stream id.
+    id: usize,
+    det: Detector,
+    queue: RingQueue,
+    /// Index into the shard's arch groups once the stream joined one.
+    group: Option<usize>,
+    /// Whether batching eligibility has been decided (checked once, at
+    /// the warm-up transition — models materialize their networks there).
+    eligibility_checked: bool,
+}
+
+/// One arch group: streams sharing a batchable architecture, partitioned
+/// into weight-identical cohorts.
+struct ArchGroup {
+    arch: ArchKey,
+    batch: InferBatch,
+    /// Member slot indices (shard-local).
+    members: Vec<usize>,
+    /// Cohort id per member (parallel to `members`).
+    cohort_of: Vec<usize>,
+    n_cohorts: usize,
+    /// Set on any member's training event; cohorts are rebuilt at the
+    /// start of the next round.
+    dirty: bool,
+    /// Round scratch: positions (into `members`) with input this round.
+    active: Vec<usize>,
+    /// Round scratch: the subset of `active` in the cohort being served.
+    cohort_rows: Vec<usize>,
+}
+
+/// One worker shard: a disjoint subset of streams plus their batching
+/// state. All per-round buffers are reused; the steady-state drain loop
+/// performs zero heap allocations (`fleet/tests/zero_alloc.rs`).
+struct Shard {
+    slots: Vec<StreamSlot>,
+    /// Per-slot model-output buffer (sibling of `slots` so the batched
+    /// path can borrow a slot's detector and its output buffer at once).
+    out_bufs: Vec<ModelOutput>,
+    /// Per-slot output of the current round.
+    outs: Vec<Option<StepOutput>>,
+    groups: Vec<ArchGroup>,
+    batching: bool,
+    stats: FleetStats,
+}
+
+impl Shard {
+    fn new(batching: bool) -> Self {
+        Self {
+            slots: Vec::new(),
+            out_bufs: Vec::new(),
+            outs: Vec::new(),
+            groups: Vec::new(),
+            batching,
+            stats: FleetStats::default(),
+        }
+    }
+
+    fn push_stream(&mut self, id: usize, det: Detector, queue_capacity: usize) {
+        let channels = det.config().channels;
+        self.slots.push(StreamSlot {
+            id,
+            det,
+            queue: RingQueue::new(channels, queue_capacity),
+            group: None,
+            eligibility_checked: false,
+        });
+        // Placeholder variant; the first batched emit replaces it with a
+        // right-sized buffer that is then reused forever.
+        self.out_bufs.push(ModelOutput::Score(0.0));
+        self.outs.push(None);
+    }
+
+    /// Joins `slot` to the arch group matching its model, creating the
+    /// group on first sight of the architecture. Group batch capacity is
+    /// the shard's stream count — the widest batch a round can need.
+    fn join_group(&mut self, slot: usize) {
+        let det = &self.slots[slot].det;
+        let Some(arch) = batch_arch_key(det.model()) else { return };
+        let gi = match self.groups.iter().position(|g| g.arch == arch) {
+            Some(gi) => gi,
+            None => {
+                let capacity = self.slots.len();
+                let Some(batch) = InferBatch::new(det.model(), capacity) else { return };
+                self.groups.push(ArchGroup {
+                    arch,
+                    batch,
+                    members: Vec::new(),
+                    cohort_of: Vec::new(),
+                    n_cohorts: 0,
+                    dirty: false,
+                    active: Vec::new(),
+                    cohort_rows: Vec::new(),
+                });
+                self.groups.len() - 1
+            }
+        };
+        let group = &mut self.groups[gi];
+        group.members.push(slot);
+        group.cohort_of.push(0);
+        group.dirty = true;
+        self.slots[slot].group = Some(gi);
+    }
+
+    /// Re-partitions a group into weight-identical cohorts by exact
+    /// parameter comparison against each cohort's first member. O(k·c)
+    /// comparisons for k members and c cohorts — and it only runs on
+    /// training events, never in the per-step hot path.
+    fn rebuild_cohorts(group: &mut ArchGroup, slots: &[StreamSlot]) {
+        group.n_cohorts = 0;
+        for i in 0..group.members.len() {
+            let model = slots[group.members[i]].det.model();
+            let mut assigned = None;
+            'cohorts: for c in 0..group.n_cohorts {
+                // The cohort's representative: its first member.
+                for j in 0..i {
+                    if group.cohort_of[j] == c {
+                        if infer_state_equal(model, slots[group.members[j]].det.model()) {
+                            assigned = Some(c);
+                        }
+                        continue 'cohorts;
+                    }
+                }
+            }
+            group.cohort_of[i] = assigned.unwrap_or_else(|| {
+                group.n_cohorts += 1;
+                group.n_cohorts - 1
+            });
+        }
+        group.dirty = false;
+    }
+
+    /// Serves one round: each stream with queued input advances exactly
+    /// one step. Results land in `self.outs` (slot order).
+    fn round(&mut self) {
+        for out in &mut self.outs {
+            *out = None;
+        }
+
+        // ---- Scalar path: ungrouped streams (warm-up, non-NN models,
+        // batching disabled).
+        for i in 0..self.slots.len() {
+            if self.slots[i].group.is_some() {
+                continue;
+            }
+            let slot = &mut self.slots[i];
+            let Some(s) = slot.queue.front() else { continue };
+            let out = slot.det.step(s);
+            slot.queue.pop_front();
+            self.outs[i] = out;
+            self.stats.steps += 1;
+            self.stats.scalar_steps += 1;
+            // Batching eligibility is decided once the model has fitted
+            // (networks materialize at the warm-up fit).
+            if self.batching && !self.slots[i].eligibility_checked && self.slots[i].det.is_warmed_up()
+            {
+                self.slots[i].eligibility_checked = true;
+                self.join_group(i);
+            }
+        }
+
+        // ---- Batched path, one arch group at a time.
+        let Shard { slots, out_bufs, outs, groups, stats, .. } = self;
+        for group in groups.iter_mut() {
+            if group.dirty {
+                Self::rebuild_cohorts(group, slots);
+                stats.cohort_rebuilds += 1;
+            }
+            // begin_step every member with input; all are post-warm-up, so
+            // every begin yields a feature vector.
+            group.active.clear();
+            for (pos, &si) in group.members.iter().enumerate() {
+                let slot = &mut slots[si];
+                let Some(s) = slot.queue.front() else { continue };
+                let ready = slot.det.begin_step(s);
+                slot.queue.pop_front();
+                debug_assert!(ready, "grouped streams are past warm-up");
+                if ready {
+                    group.active.push(pos);
+                }
+            }
+            // One shared forward pass per cohort with active members; the
+            // cohort invariant makes any member's model a valid leader.
+            for c in 0..group.n_cohorts {
+                group.cohort_rows.clear();
+                group
+                    .cohort_rows
+                    .extend(group.active.iter().copied().filter(|&pos| group.cohort_of[pos] == c));
+                if group.cohort_rows.is_empty() {
+                    continue;
+                }
+                let rows = group.cohort_rows.len();
+                let leader_slot = group.members[group.cohort_rows[0]];
+                group.batch.begin(rows);
+                for (row, &pos) in group.cohort_rows.iter().enumerate() {
+                    let si = group.members[pos];
+                    group.batch.pack(slots[leader_slot].det.model(), row, slots[si].det.feature());
+                }
+                group.batch.forward(slots[leader_slot].det.model());
+                // Scatter every row's output *before* any finish_step: a
+                // fine-tune inside finish must not be able to perturb a
+                // sibling's emit (it can't — fine-tunes never refit the
+                // scaler — but the ordering makes parity unconditional).
+                for (row, &pos) in group.cohort_rows.iter().enumerate() {
+                    let si = group.members[pos];
+                    group.batch.emit_into(slots[leader_slot].det.model(), row, &mut out_bufs[si]);
+                }
+                for &pos in group.cohort_rows.iter() {
+                    let si = group.members[pos];
+                    let out = slots[si].det.finish_step(&out_bufs[si]);
+                    if out.fine_tuned {
+                        group.dirty = true;
+                    }
+                    outs[si] = Some(out);
+                    stats.steps += 1;
+                    stats.batched_rows += 1;
+                }
+                stats.batches += 1;
+            }
+        }
+    }
+
+    /// Streams on this shard with at least one queued vector.
+    fn pending(&self) -> usize {
+        self.slots.iter().filter(|s| s.queue.len() > 0).count()
+    }
+}
+
+/// A sharded multi-stream detector fleet. See the crate docs for the
+/// batching and sharding model.
+pub struct DetectorFleet {
+    shards: Vec<Shard>,
+    config: FleetConfig,
+    n_streams: usize,
+}
+
+impl DetectorFleet {
+    /// Builds a fleet over `detectors` (stream `i` = `detectors[i]`,
+    /// assigned to shard `i % config.shards`).
+    ///
+    /// # Panics
+    /// Panics on an empty detector list or a zero shard count /
+    /// queue capacity.
+    pub fn new(detectors: Vec<Detector>, config: FleetConfig) -> Self {
+        assert!(!detectors.is_empty(), "a fleet needs at least one stream");
+        assert!(config.shards > 0, "shard count must be positive");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let n_streams = detectors.len();
+        let n_shards = config.shards.min(n_streams);
+        let mut shards: Vec<Shard> = (0..n_shards).map(|_| Shard::new(config.batching)).collect();
+        for (id, det) in detectors.into_iter().enumerate() {
+            shards[id % n_shards].push_stream(id, det, config.queue_capacity);
+        }
+        Self { shards, config, n_streams }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Whether the fleet is empty (never true — `new` requires a stream).
+    pub fn is_empty(&self) -> bool {
+        self.n_streams == 0
+    }
+
+    /// Enqueues one stream vector for `stream`; `false` when that
+    /// stream's queue is full (drain first).
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range or `s` has the wrong channel
+    /// count.
+    pub fn enqueue(&mut self, stream: usize, s: &[f64]) -> bool {
+        assert!(stream < self.n_streams, "stream {stream} out of 0..{}", self.n_streams);
+        let n_shards = self.shards.len();
+        self.shards[stream % n_shards].slots[stream / n_shards].queue.push(s)
+    }
+
+    /// Drains one round: every stream with queued input advances exactly
+    /// one step. `out` is resized to one entry per stream (stream-id
+    /// order); `out[i]` is `Some` iff stream `i` consumed a vector *and*
+    /// is past warm-up — exactly `Detector::step`'s contract. Returns the
+    /// number of vectors consumed.
+    pub fn drain_round(&mut self, out: &mut Vec<Option<StepOutput>>) -> usize {
+        out.resize(self.n_streams, None);
+        for o in out.iter_mut() {
+            *o = None;
+        }
+        let consumed: usize = self.shards.iter().map(Shard::pending).sum();
+
+        if self.config.parallel && self.shards.len() > 1 {
+            // One scoped worker per shard; shards own disjoint state.
+            std::thread::scope(|scope| {
+                for shard in &mut self.shards {
+                    scope.spawn(|| shard.round());
+                }
+            });
+        } else {
+            for shard in &mut self.shards {
+                shard.round();
+            }
+        }
+
+        // Scatter shard-local outputs back into stream-id order.
+        for shard in &self.shards {
+            for (slot, o) in shard.slots.iter().zip(&shard.outs) {
+                out[slot.id] = *o;
+            }
+        }
+        consumed
+    }
+
+    /// Convenience driver: streams `series[i]` into stream `i` and
+    /// returns each stream's post-warm-up outputs — per stream, the exact
+    /// trace of a standalone `Detector::run` over the same series.
+    pub fn run(&mut self, series: &[Vec<Vec<f64>>]) -> Vec<Vec<StepOutput>> {
+        assert_eq!(series.len(), self.n_streams, "one series per stream");
+        let mut traces: Vec<Vec<StepOutput>> = (0..self.n_streams).map(|_| Vec::new()).collect();
+        let mut round_out: Vec<Option<StepOutput>> = Vec::new();
+        let longest = series.iter().map(Vec::len).max().unwrap_or(0);
+        let mut cursor = vec![0usize; self.n_streams];
+        for _ in 0..longest {
+            for (i, s) in series.iter().enumerate() {
+                if cursor[i] < s.len() {
+                    let accepted = self.enqueue(i, &s[cursor[i]]);
+                    assert!(accepted, "queues cannot fill at one vector per round");
+                    cursor[i] += 1;
+                }
+            }
+            self.drain_round(&mut round_out);
+            for (trace, o) in traces.iter_mut().zip(&round_out) {
+                if let Some(o) = o {
+                    trace.push(*o);
+                }
+            }
+        }
+        traces
+    }
+
+    /// The detector serving `stream`.
+    pub fn detector(&self, stream: usize) -> &Detector {
+        assert!(stream < self.n_streams, "stream {stream} out of 0..{}", self.n_streams);
+        let n_shards = self.shards.len();
+        &self.shards[stream % n_shards].slots[stream / n_shards].det
+    }
+
+    /// Cumulative serving counters, summed over shards.
+    pub fn stats(&self) -> FleetStats {
+        let mut total = FleetStats::default();
+        for shard in &self.shards {
+            let s = &shard.stats;
+            total.steps += s.steps;
+            total.scalar_steps += s.scalar_steps;
+            total.batched_rows += s.batched_rows;
+            total.batches += s.batches;
+            total.cohort_rebuilds += s.cohort_rebuilds;
+        }
+        total
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sad_core::{DetectorConfig, ScoreKind};
+    use sad_models::{build_detector, BuildParams};
+
+    fn series(len: usize, phase: f64) -> Vec<Vec<f64>> {
+        (0..len)
+            .map(|t| {
+                let x = t as f64 * 0.07 + phase;
+                vec![x.sin(), (x * 0.6).cos()]
+            })
+            .collect()
+    }
+
+    fn ae_detector(seed: u64) -> Detector {
+        let config = DetectorConfig {
+            window: 6,
+            channels: 2,
+            warmup: 60,
+            initial_epochs: 2,
+            fine_tune_epochs: 1,
+        };
+        let spec = sad_core::paper_algorithms()
+            .iter()
+            .copied()
+            .find(|s| s.label().contains("AE") && s.label().contains("SW"))
+            .expect("AE/SW combination exists");
+        let params =
+            BuildParams::new(config).with_capacity(20).with_score(ScoreKind::Raw).with_seed(seed);
+        build_detector(spec, &params)
+    }
+
+    #[test]
+    fn ring_queue_round_trips_in_order() {
+        let mut q = RingQueue::new(2, 3);
+        assert!(q.push(&[1.0, 2.0]));
+        assert!(q.push(&[3.0, 4.0]));
+        assert!(q.push(&[5.0, 6.0]));
+        assert!(!q.push(&[7.0, 8.0]), "full queue rejects");
+        assert_eq!(q.front().unwrap(), &[1.0, 2.0]);
+        q.pop_front();
+        assert!(q.push(&[7.0, 8.0]), "slot freed");
+        assert_eq!(q.front().unwrap(), &[3.0, 4.0]);
+        q.pop_front();
+        q.pop_front();
+        assert_eq!(q.front().unwrap(), &[7.0, 8.0]);
+        q.pop_front();
+        assert!(q.front().is_none());
+    }
+
+    #[test]
+    fn fleet_runs_and_reports_batched_rows() {
+        // Two identically-seeded AE streams on identical warm-up data stay
+        // one cohort: their steps are served batched.
+        let fleet_series = vec![series(140, 0.0), series(140, 0.0)];
+        let mut fleet =
+            DetectorFleet::new(vec![ae_detector(7), ae_detector(7)], FleetConfig::default());
+        let traces = fleet.run(&fleet_series);
+        assert_eq!(traces[0].len(), 80);
+        assert_eq!(traces[1].len(), 80);
+        let stats = fleet.stats();
+        assert!(stats.batched_rows >= 140, "post-warm-up steps batch: {stats:?}");
+        assert!(stats.batches <= stats.batched_rows / 2 + 2, "rows amortize: {stats:?}");
+    }
+
+    #[test]
+    fn batching_disabled_serves_everything_scalar() {
+        let fleet_series = vec![series(100, 0.0), series(100, 0.0)];
+        let config = FleetConfig { batching: false, ..FleetConfig::default() };
+        let mut fleet = DetectorFleet::new(vec![ae_detector(7), ae_detector(7)], config);
+        let _ = fleet.run(&fleet_series);
+        let stats = fleet.stats();
+        assert_eq!(stats.batched_rows, 0);
+        assert_eq!(stats.scalar_steps, 200);
+    }
+
+    #[test]
+    fn enqueue_backpressure_reports_full_queue() {
+        let config = FleetConfig { queue_capacity: 2, ..FleetConfig::default() };
+        let mut fleet = DetectorFleet::new(vec![ae_detector(1)], config);
+        assert!(fleet.enqueue(0, &[0.0, 0.0]));
+        assert!(fleet.enqueue(0, &[0.0, 0.0]));
+        assert!(!fleet.enqueue(0, &[0.0, 0.0]), "queue of 2 is full");
+        let mut out = Vec::new();
+        assert_eq!(fleet.drain_round(&mut out), 1, "one round serves one step per stream");
+        assert!(fleet.enqueue(0, &[0.0, 0.0]), "drained slot is reusable");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn empty_fleet_panics() {
+        let _ = DetectorFleet::new(Vec::new(), FleetConfig::default());
+    }
+}

@@ -85,6 +85,13 @@ impl TwoLayerAe {
         }
     }
 
+    /// Inference state for the fleet's cross-stream batched stepping:
+    /// `(network, fitted scaler)`. `None` until the network exists (i.e.
+    /// before the first predict/fit call).
+    pub(crate) fn inference_parts(&self) -> Option<(&Mlp, Option<&Standardizer>)> {
+        self.net.as_ref().map(|net| (net, self.scaler.as_ref()))
+    }
+
     /// One training epoch over `train`, batched. Zero heap allocations in
     /// steady state (workspace and gradient buffers are reused).
     fn epoch(&mut self, train: &[FeatureVector]) {
@@ -141,6 +148,10 @@ impl StreamModel for TwoLayerAe {
 
     fn clone_box(&self) -> Box<dyn StreamModel> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

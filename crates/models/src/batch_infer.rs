@@ -1,0 +1,578 @@
+//! Cross-stream batched inference for the NN-backed models (fleet serving).
+//!
+//! The fleet's headline optimisation packs the per-step feature windows of
+//! many streams into one row-major matrix and pushes them through a single
+//! `Mlp::forward_batch` per sub-network, amortizing inference the way
+//! `MlpWorkspace` already amortizes training. This module provides the
+//! model-side machinery:
+//!
+//! * [`ArchKey`] / [`batch_arch_key`] — which streams are *eligible* to
+//!   share a batch (same model family, identical layer dimensions);
+//! * [`infer_state_equal`] — which eligible streams may *actually* share
+//!   one forward pass (bitwise-identical inference parameters: only then
+//!   is running every row through one member's network exactly the
+//!   per-stream computation);
+//! * [`InferBatch`] — the reusable batched workspaces plus the
+//!   `begin`/`pack`/`forward`/`emit_into` loop that reproduces each
+//!   model's `predict` bitwise, row by row.
+//!
+//! Bitwise parity rests on three already-proven facts: `forward_batch`
+//! computes each output row independently and identically to `Mlp::infer`
+//! (`sad-nn` batch parity tests), the scalers' `*_into` variants match
+//! their allocating twins bitwise (scaler tests), and matrix-row copies
+//! are exact. The tests below close the loop per model against `predict`.
+
+use crate::ae::TwoLayerAe;
+use crate::nbeats::NBeats;
+use crate::usad::Usad;
+use sad_core::{FeatureVector, ModelOutput, StreamModel};
+use sad_nn::{Mlp, MlpWorkspace};
+use sad_tensor::Matrix;
+
+/// Model family of an [`ArchKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchKind {
+    /// `TwoLayerAe` reconstruction.
+    Ae,
+    /// `Usad` — only the inference half `AE₁ = D₁ ∘ E`.
+    Usad,
+    /// `NBeats` residual forecast stack.
+    NBeats,
+}
+
+/// Batching eligibility key: streams share a batch group iff their models
+/// have the same kind and identical layer dimensions (the issue's rule:
+/// same arch ⇒ same batch). Parameter values are deliberately *not* part
+/// of the key — they are compared separately by [`infer_state_equal`] to
+/// form weight-identical cohorts within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchKey {
+    kind: ArchKind,
+    /// Flattened layer dimensions of every network `predict` touches
+    /// (sentinel-separated per network so distinct topologies cannot
+    /// collide).
+    dims: Vec<usize>,
+}
+
+impl ArchKey {
+    /// Model family.
+    pub fn kind(&self) -> ArchKind {
+        self.kind
+    }
+}
+
+/// Appends `in_dim, out₁, out₂, …, SENTINEL` for one network.
+fn push_mlp_dims(dims: &mut Vec<usize>, mlp: &Mlp) {
+    dims.push(mlp.in_dim());
+    for layer in mlp.layers() {
+        dims.push(layer.weights.shape().0);
+    }
+    dims.push(usize::MAX);
+}
+
+/// The batching eligibility key of a model, or `None` when the model is
+/// not an NN-backed type or its networks have not materialized yet (e.g.
+/// before the warm-up fit). Non-eligible streams stay on the scalar
+/// per-stream path.
+pub fn batch_arch_key(model: &dyn StreamModel) -> Option<ArchKey> {
+    let any = model.as_any()?;
+    if let Some(ae) = any.downcast_ref::<TwoLayerAe>() {
+        let (net, _) = ae.inference_parts()?;
+        let mut dims = Vec::new();
+        push_mlp_dims(&mut dims, net);
+        return Some(ArchKey { kind: ArchKind::Ae, dims });
+    }
+    if let Some(usad) = any.downcast_ref::<Usad>() {
+        let (encoder, dec1, _) = usad.inference_parts()?;
+        let mut dims = Vec::new();
+        push_mlp_dims(&mut dims, encoder);
+        push_mlp_dims(&mut dims, dec1);
+        return Some(ArchKey { kind: ArchKind::Usad, dims });
+    }
+    if let Some(nb) = any.downcast_ref::<NBeats>() {
+        let (blocks, _) = nb.inference_parts()?;
+        let mut dims = Vec::new();
+        for block in blocks {
+            push_mlp_dims(&mut dims, &block.trunk);
+            push_mlp_dims(&mut dims, &block.backcast_head);
+            push_mlp_dims(&mut dims, &block.forecast_head);
+        }
+        return Some(ArchKey { kind: ArchKind::NBeats, dims });
+    }
+    None
+}
+
+fn scaler_equal<S>(a: Option<&S>, b: Option<&S>, eq: impl Fn(&S, &S) -> bool) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => eq(a, b),
+        _ => false,
+    }
+}
+
+/// Whether two models' *inference* computations are bitwise identical —
+/// the cohort test: only streams passing this may share one forward pass.
+/// Exact (`f64::to_bits`) comparison of every parameter `predict` reads,
+/// plus the fitted scaler statistics. Models of different kinds or shapes
+/// are never equal; training-only state (optimizers, `dec2`, gradient
+/// buffers) is irrelevant to `predict` and ignored.
+pub fn infer_state_equal(a: &dyn StreamModel, b: &dyn StreamModel) -> bool {
+    let (Some(a), Some(b)) = (a.as_any(), b.as_any()) else { return false };
+    if let (Some(x), Some(y)) = (a.downcast_ref::<TwoLayerAe>(), b.downcast_ref::<TwoLayerAe>()) {
+        return match (x.inference_parts(), y.inference_parts()) {
+            (Some((nx, sx)), Some((ny, sy))) => {
+                nx.params_equal(ny) && scaler_equal(sx, sy, |p, q| p.state_equal(q))
+            }
+            _ => false,
+        };
+    }
+    if let (Some(x), Some(y)) = (a.downcast_ref::<Usad>(), b.downcast_ref::<Usad>()) {
+        return match (x.inference_parts(), y.inference_parts()) {
+            (Some((ex, dx, sx)), Some((ey, dy, sy))) => {
+                ex.params_equal(ey)
+                    && dx.params_equal(dy)
+                    && scaler_equal(sx, sy, |p, q| p.state_equal(q))
+            }
+            _ => false,
+        };
+    }
+    if let (Some(x), Some(y)) = (a.downcast_ref::<NBeats>(), b.downcast_ref::<NBeats>()) {
+        return match (x.inference_parts(), y.inference_parts()) {
+            (Some((bx, sx)), Some((by, sy))) => {
+                bx.len() == by.len()
+                    && bx.iter().zip(by).all(|(p, q)| {
+                        p.trunk.params_equal(&q.trunk)
+                            && p.backcast_head.params_equal(&q.backcast_head)
+                            && p.forecast_head.params_equal(&q.forecast_head)
+                    })
+                    && scaler_equal(sx, sy, |p, q| p.state_equal(q))
+            }
+            _ => false,
+        };
+    }
+    false
+}
+
+/// Per-block inference workspaces for the N-BEATS residual stack.
+struct NBeatsBlockWs {
+    ws_t: MlpWorkspace,
+    ws_b: MlpWorkspace,
+    ws_f: MlpWorkspace,
+}
+
+enum BatchInner {
+    Ae {
+        ws: MlpWorkspace,
+    },
+    Usad {
+        ws_e: MlpWorkspace,
+        ws_d1: MlpWorkspace,
+    },
+    NBeats {
+        blocks: Vec<NBeatsBlockWs>,
+        /// `B×n` running forecast sum `Σ_l ŷ_l`.
+        forecast: Matrix,
+        /// `w·N` scratch for the standardized full window before the
+        /// history/target split.
+        scratch: Vec<f64>,
+    },
+}
+
+/// Reusable batched-inference buffers for one cohort of streams sharing
+/// bitwise-identical inference state.
+///
+/// The per-step loop is `begin(rows)` → `pack(leader, row, x)` per stream
+/// → `forward(leader)` → `emit_into(leader, row, out)` per stream, where
+/// `leader` is any cohort member's model (they are interchangeable by the
+/// cohort invariant). All buffers are sized once for `capacity` rows;
+/// steady-state rounds perform zero heap allocations.
+pub struct InferBatch {
+    inner: BatchInner,
+    capacity: usize,
+    rows: usize,
+}
+
+impl InferBatch {
+    /// Builds batch buffers for `leader`'s architecture, or `None` when
+    /// the model is not batchable (see [`batch_arch_key`]).
+    pub fn new(leader: &dyn StreamModel, capacity: usize) -> Option<Self> {
+        assert!(capacity > 0, "batch capacity must be positive");
+        let any = leader.as_any()?;
+        let inner = if let Some(ae) = any.downcast_ref::<TwoLayerAe>() {
+            let (net, _) = ae.inference_parts()?;
+            BatchInner::Ae { ws: net.inference_workspace(capacity) }
+        } else if let Some(usad) = any.downcast_ref::<Usad>() {
+            let (encoder, dec1, _) = usad.inference_parts()?;
+            BatchInner::Usad {
+                ws_e: encoder.inference_workspace(capacity),
+                ws_d1: dec1.inference_workspace(capacity),
+            }
+        } else if let Some(nb) = any.downcast_ref::<NBeats>() {
+            let (blocks, _) = nb.inference_parts()?;
+            let input = blocks[0].trunk.in_dim();
+            let output = blocks[0].forecast_head.out_dim();
+            BatchInner::NBeats {
+                blocks: blocks
+                    .iter()
+                    .map(|b| NBeatsBlockWs {
+                        ws_t: b.trunk.inference_workspace(capacity),
+                        ws_b: b.backcast_head.inference_workspace(capacity),
+                        ws_f: b.forecast_head.inference_workspace(capacity),
+                    })
+                    .collect(),
+                forecast: Matrix::zeros(capacity, output),
+                scratch: vec![0.0; input + output],
+            }
+        } else {
+            return None;
+        };
+        Some(Self { inner, capacity, rows: 0 })
+    }
+
+    /// Maximum rows per forward pass.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Starts a round of `rows ≤ capacity` streams.
+    pub fn begin(&mut self, rows: usize) {
+        assert!(rows > 0 && rows <= self.capacity, "rows {rows} out of 1..={}", self.capacity);
+        self.rows = rows;
+        match &mut self.inner {
+            BatchInner::Ae { ws } => ws.set_batch(rows),
+            BatchInner::Usad { ws_e, ws_d1 } => {
+                ws_e.set_batch(rows);
+                ws_d1.set_batch(rows);
+            }
+            BatchInner::NBeats { blocks, forecast, .. } => {
+                for b in blocks.iter_mut() {
+                    b.ws_t.set_batch(rows);
+                    b.ws_b.set_batch(rows);
+                    b.ws_f.set_batch(rows);
+                }
+                forecast.resize_rows(rows);
+            }
+        }
+    }
+
+    /// Loads stream `row`'s feature window, applying the leader's input
+    /// scaling exactly as that model's `predict` would.
+    pub fn pack(&mut self, leader: &dyn StreamModel, row: usize, x: &FeatureVector) {
+        assert!(row < self.rows, "row {row} out of batch of {}", self.rows);
+        let any = leader.as_any().expect("batchable leader");
+        match &mut self.inner {
+            BatchInner::Ae { ws } => {
+                let (_, scaler) =
+                    any.downcast_ref::<TwoLayerAe>().expect("AE leader").inference_parts().unwrap();
+                match scaler {
+                    Some(s) => s.transform_into(x.as_slice(), ws.input_row_mut(row)),
+                    None => ws.input_row_mut(row).copy_from_slice(x.as_slice()),
+                }
+            }
+            BatchInner::Usad { ws_e, .. } => {
+                let (_, _, scaler) =
+                    any.downcast_ref::<Usad>().expect("USAD leader").inference_parts().unwrap();
+                match scaler {
+                    Some(s) => s.transform_into(x.as_slice(), ws_e.input_row_mut(row)),
+                    None => ws_e.input_row_mut(row).copy_from_slice(x.as_slice()),
+                }
+            }
+            BatchInner::NBeats { blocks, scratch, .. } => {
+                assert!(x.w() >= 2, "N-BEATS needs at least two steps of history");
+                let (_, scaler) =
+                    any.downcast_ref::<NBeats>().expect("N-BEATS leader").inference_parts().unwrap();
+                match scaler {
+                    Some(s) => s.transform_into(x.as_slice(), scratch),
+                    None => scratch.copy_from_slice(x.as_slice()),
+                }
+                let split = scratch.len() - x.n();
+                blocks[0].ws_t.input_row_mut(row).copy_from_slice(&scratch[..split]);
+            }
+        }
+    }
+
+    /// Runs the shared forward pass(es) for the whole batch.
+    pub fn forward(&mut self, leader: &dyn StreamModel) {
+        let any = leader.as_any().expect("batchable leader");
+        match &mut self.inner {
+            BatchInner::Ae { ws } => {
+                let (net, _) =
+                    any.downcast_ref::<TwoLayerAe>().expect("AE leader").inference_parts().unwrap();
+                net.forward_batch(ws);
+            }
+            BatchInner::Usad { ws_e, ws_d1 } => {
+                let (encoder, dec1, _) =
+                    any.downcast_ref::<Usad>().expect("USAD leader").inference_parts().unwrap();
+                encoder.forward_batch(ws_e);
+                ws_d1.input_mut().copy_from(ws_e.output());
+                dec1.forward_batch(ws_d1);
+            }
+            BatchInner::NBeats { blocks, forecast, .. } => {
+                let (nets, _) = any
+                    .downcast_ref::<NBeats>()
+                    .expect("N-BEATS leader")
+                    .inference_parts()
+                    .unwrap();
+                let rows = self.rows;
+                let n_blocks = nets.len();
+                for l in 0..n_blocks {
+                    {
+                        let bb = &mut blocks[l];
+                        nets[l].trunk.forward_batch(&mut bb.ws_t);
+                        bb.ws_b.input_mut().copy_from(bb.ws_t.output());
+                        nets[l].backcast_head.forward_batch(&mut bb.ws_b);
+                        bb.ws_f.input_mut().copy_from(bb.ws_t.output());
+                        nets[l].forecast_head.forward_batch(&mut bb.ws_f);
+                        // ŷ = Σ_l ŷ_l: copy the first block's forecast, add
+                        // the rest (copy-then-accumulate matches the scalar
+                        // path's `None => Some(f)` initialization bitwise —
+                        // `0.0 + f` is not the identity for `f = −0.0`).
+                        if l == 0 {
+                            forecast.copy_from(bb.ws_f.output());
+                        } else {
+                            for b in 0..rows {
+                                for (acc, &fv) in
+                                    forecast.row_mut(b).iter_mut().zip(bb.ws_f.output().row(b))
+                                {
+                                    *acc += fv;
+                                }
+                            }
+                        }
+                    }
+                    // x_{l+1} = x_l − x̂_l, written straight into the next
+                    // block's trunk input.
+                    if l + 1 < n_blocks {
+                        let (cur, rest) = blocks.split_at_mut(l + 1);
+                        let bb = &cur[l];
+                        let next = &mut rest[0];
+                        for b in 0..rows {
+                            for ((o, &r), &bv) in next
+                                .ws_t
+                                .input_row_mut(b)
+                                .iter_mut()
+                                .zip(bb.ws_t.input().row(b))
+                                .zip(bb.ws_b.output().row(b))
+                            {
+                                *o = r - bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes stream `row`'s model output into `out`, reusing its existing
+    /// buffer when the variant and length already match (the fleet keeps
+    /// one `ModelOutput` per stream, so steady-state rounds do not
+    /// allocate).
+    pub fn emit_into(&self, leader: &dyn StreamModel, row: usize, out: &mut ModelOutput) {
+        assert!(row < self.rows, "row {row} out of batch of {}", self.rows);
+        let any = leader.as_any().expect("batchable leader");
+        match &self.inner {
+            BatchInner::Ae { ws } => {
+                let (_, scaler) =
+                    any.downcast_ref::<TwoLayerAe>().expect("AE leader").inference_parts().unwrap();
+                let z = ws.output().row(row);
+                let buf = reconstruction_buf(out, z.len());
+                match scaler {
+                    Some(s) => s.inverse_into(z, buf),
+                    None => buf.copy_from_slice(z),
+                }
+            }
+            BatchInner::Usad { ws_d1, .. } => {
+                let (_, _, scaler) =
+                    any.downcast_ref::<Usad>().expect("USAD leader").inference_parts().unwrap();
+                let z = ws_d1.output().row(row);
+                let buf = reconstruction_buf(out, z.len());
+                match scaler {
+                    Some(s) => s.inverse_into(z, buf),
+                    None => buf.copy_from_slice(z),
+                }
+            }
+            BatchInner::NBeats { forecast, .. } => {
+                let (_, scaler) = any
+                    .downcast_ref::<NBeats>()
+                    .expect("N-BEATS leader")
+                    .inference_parts()
+                    .unwrap();
+                let z = forecast.row(row);
+                let buf = forecast_buf(out, z.len());
+                match scaler {
+                    Some(s) => s.inverse_tail_into(z, buf),
+                    None => buf.copy_from_slice(z),
+                }
+            }
+        }
+    }
+}
+
+fn reconstruction_buf(out: &mut ModelOutput, len: usize) -> &mut [f64] {
+    if !matches!(out, ModelOutput::Reconstruction(v) if v.len() == len) {
+        *out = ModelOutput::Reconstruction(vec![0.0; len]);
+    }
+    match out {
+        ModelOutput::Reconstruction(v) => v,
+        _ => unreachable!(),
+    }
+}
+
+fn forecast_buf(out: &mut ModelOutput, len: usize) -> &mut [f64] {
+    if !matches!(out, ModelOutput::Forecast(v) if v.len() == len) {
+        *out = ModelOutput::Forecast(vec![0.0; len]);
+    }
+    match out {
+        ModelOutput::Forecast(v) => v,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_windows(count: usize, w: usize, phase: f64) -> Vec<FeatureVector> {
+        (0..count)
+            .map(|s| {
+                let data: Vec<f64> = (0..w)
+                    .flat_map(|i| {
+                        let t = (s + i) as f64 * 0.3 + phase;
+                        vec![t.sin(), (t * 0.5).cos() * 2.0]
+                    })
+                    .collect();
+                FeatureVector::new(data, w, 2)
+            })
+            .collect()
+    }
+
+    fn assert_outputs_bitwise(a: &ModelOutput, b: &ModelOutput, ctx: &str) {
+        match (a, b) {
+            (ModelOutput::Reconstruction(x), ModelOutput::Reconstruction(y))
+            | (ModelOutput::Forecast(x), ModelOutput::Forecast(y)) => {
+                assert_eq!(x.len(), y.len(), "{ctx}: length");
+                for (i, (p, q)) in x.iter().zip(y).enumerate() {
+                    assert_eq!(p.to_bits(), q.to_bits(), "{ctx}: element {i}");
+                }
+            }
+            other => panic!("{ctx}: variant mismatch {other:?}"),
+        }
+    }
+
+    /// Drives a batch of `probes` through `InferBatch` and checks every
+    /// row against the model's own `predict`, bitwise.
+    fn check_batch_matches_predict(model: &mut dyn StreamModel, probes: &[FeatureVector]) {
+        let mut batch = InferBatch::new(model, probes.len()).expect("batchable model");
+        // Also exercise partial batches: all rows, then a batch of one.
+        for take in [probes.len(), 1] {
+            batch.begin(take);
+            for (row, x) in probes[..take].iter().enumerate() {
+                batch.pack(model, row, x);
+            }
+            batch.forward(model);
+            for (row, x) in probes[..take].iter().enumerate() {
+                let mut got = ModelOutput::Score(0.0);
+                batch.emit_into(model, row, &mut got);
+                let want = model.predict(x);
+                assert_outputs_bitwise(&got, &want, &format!("take {take}, row {row}"));
+            }
+        }
+    }
+
+    #[test]
+    fn ae_batch_matches_predict_bitwise() {
+        let train = sine_windows(40, 8, 0.0);
+        let mut ae = TwoLayerAe::new(8, 5e-3, 7);
+        ae.fit_initial(&train, 20);
+        check_batch_matches_predict(&mut ae, &train[10..16]);
+    }
+
+    #[test]
+    fn usad_batch_matches_predict_bitwise() {
+        let train = sine_windows(30, 6, 0.0);
+        let mut usad = Usad::new(3, 2e-3, 5);
+        usad.fit_initial(&train, 15);
+        check_batch_matches_predict(&mut usad, &train[5..10]);
+    }
+
+    #[test]
+    fn nbeats_batch_matches_predict_bitwise() {
+        let train = sine_windows(40, 8, 0.0);
+        let mut nb = NBeats::new(2, 16, 6, 2e-3, 11);
+        nb.fit_initial(&train, 15);
+        check_batch_matches_predict(&mut nb, &train[20..25]);
+        // The interpretable (fixed-basis) configuration too.
+        let mut nbi = NBeats::interpretable(12, 3, 2, 2e-3, 7);
+        nbi.fit_initial(&train, 10);
+        check_batch_matches_predict(&mut nbi, &train[12..17]);
+    }
+
+    /// Unscaled models (predict before any fit creates the nets lazily,
+    /// no scaler) must also match.
+    #[test]
+    fn unscaled_ae_batch_matches_predict_bitwise() {
+        let mut ae = TwoLayerAe::new(4, 1e-3, 1);
+        let x = FeatureVector::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let _ = ae.predict(&x); // materializes the net, no scaler
+        check_batch_matches_predict(&mut ae, std::slice::from_ref(&x));
+    }
+
+    #[test]
+    fn arch_key_groups_same_shape_only() {
+        let train = sine_windows(30, 8, 0.0);
+        let mut a = TwoLayerAe::new(8, 5e-3, 1);
+        let mut b = TwoLayerAe::new(8, 1e-2, 99); // same shape, different params
+        let mut c = TwoLayerAe::new(12, 5e-3, 1); // different hidden width
+        a.fit_initial(&train, 2);
+        b.fit_initial(&train, 2);
+        c.fit_initial(&train, 2);
+        let ka = batch_arch_key(&a).unwrap();
+        assert_eq!(ka.kind(), ArchKind::Ae);
+        assert_eq!(ka, batch_arch_key(&b).unwrap());
+        assert_ne!(ka, batch_arch_key(&c).unwrap());
+
+        let mut u = Usad::new(3, 2e-3, 5);
+        u.fit_initial(&train, 1);
+        assert_ne!(ka, batch_arch_key(&u).unwrap());
+    }
+
+    #[test]
+    fn unfitted_or_non_nn_models_are_not_batchable() {
+        let ae = TwoLayerAe::new(8, 5e-3, 1); // no net yet
+        assert!(batch_arch_key(&ae).is_none());
+        assert!(InferBatch::new(&ae, 4).is_none());
+        let knn = crate::KnnDistanceModel::new(3);
+        assert!(batch_arch_key(&knn).is_none());
+        assert!(InferBatch::new(&knn, 4).is_none());
+    }
+
+    #[test]
+    fn infer_state_equal_tracks_training_divergence() {
+        let train = sine_windows(30, 8, 0.0);
+        let mut a = TwoLayerAe::new(8, 5e-3, 7);
+        a.fit_initial(&train, 5);
+        let b = a.clone();
+        assert!(infer_state_equal(&a, &b), "clones share inference state");
+        let mut c = b.clone();
+        c.fine_tune(&train);
+        assert!(!infer_state_equal(&a, &c), "fine-tuning breaks the cohort");
+        // Same shape, different seed → different parameters.
+        let mut d = TwoLayerAe::new(8, 5e-3, 8);
+        d.fit_initial(&train, 5);
+        assert!(!infer_state_equal(&a, &d));
+        // Cross-kind comparison is never equal.
+        let mut u = Usad::new(3, 2e-3, 5);
+        u.fit_initial(&train, 1);
+        assert!(!infer_state_equal(&a, &u));
+    }
+
+    #[test]
+    fn usad_dec2_divergence_keeps_cohort() {
+        // dec2 never participates in predict: two USADs equal on
+        // (encoder, dec1, scaler) stay in one cohort regardless of dec2.
+        let train = sine_windows(30, 6, 0.0);
+        let mut a = Usad::new(3, 2e-3, 5);
+        a.fit_initial(&train, 10);
+        let b = a.clone();
+        assert!(infer_state_equal(&a, &b));
+    }
+}

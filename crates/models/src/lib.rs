@@ -25,6 +25,7 @@
 
 pub mod ae;
 pub mod arima;
+pub mod batch_infer;
 pub mod builder;
 pub mod knn;
 pub mod nbeats;
@@ -35,6 +36,7 @@ pub mod var;
 
 pub use ae::TwoLayerAe;
 pub use arima::OnlineArima;
+pub use batch_infer::{batch_arch_key, infer_state_equal, ArchKey, ArchKind, InferBatch};
 pub use builder::{
     build_detector, build_model, build_scorer, build_scorer_bank, build_shared_warmup,
     build_task1, build_task2, BuildParams,

@@ -49,12 +49,15 @@ pub enum BasisKind {
 }
 
 /// One N-BEATS block: trunk + backcast head + forecast head.
+/// Crate-visible so the fleet's batched inference path
+/// (`crate::batch_infer`) can drive the residual stack through shared
+/// workspaces.
 #[derive(Clone)]
-struct Block {
-    trunk: Mlp,
-    backcast_head: Mlp,
-    forecast_head: Mlp,
-    basis: BasisKind,
+pub(crate) struct Block {
+    pub(crate) trunk: Mlp,
+    pub(crate) backcast_head: Mlp,
+    pub(crate) forecast_head: Mlp,
+    pub(crate) basis: BasisKind,
 }
 
 /// Reusable batched-training buffers for one block: a workspace per
@@ -184,7 +187,7 @@ impl Block {
         }
     }
 
-    fn infer(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    pub(crate) fn infer(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let h = self.trunk.infer(x);
         (self.backcast_head.infer(&h), self.forecast_head.infer(&h))
     }
@@ -490,6 +493,12 @@ impl NBeats {
         }
     }
 
+    /// Inference state for the fleet's cross-stream batched stepping:
+    /// `(residual stack, fitted scaler)`. `None` until the blocks exist.
+    pub(crate) fn inference_parts(&self) -> Option<(&[Block], Option<&Standardizer>)> {
+        self.blocks.as_deref().map(|blocks| (blocks, self.scaler.as_ref()))
+    }
+
     /// Per-block backcast/forecast decomposition for a feature vector — the
     /// interpretability view the basis expansion exists for.
     pub fn decompose(&mut self, x: &FeatureVector) -> Vec<(Vec<f64>, Vec<f64>)> {
@@ -550,6 +559,10 @@ impl StreamModel for NBeats {
 
     fn clone_box(&self) -> Box<dyn StreamModel> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

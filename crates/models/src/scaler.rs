@@ -86,6 +86,17 @@ impl Standardizer {
         z.iter().zip(&self.mean).zip(&self.std).map(|((&v, &m), &s)| v * s + m).collect()
     }
 
+    /// Allocation-free [`Self::inverse`]: writes the raw-unit vector into
+    /// `out` (the fleet's batched inference path scatters workspace rows
+    /// with this).
+    pub fn inverse_into(&self, z: &[f64], out: &mut [f64]) {
+        assert_eq!(z.len(), self.mean.len(), "standardizer dimension mismatch");
+        assert_eq!(out.len(), z.len(), "standardizer output length mismatch");
+        for (o, ((&v, &m), &s)) in out.iter_mut().zip(z.iter().zip(&self.mean).zip(&self.std)) {
+            *o = v * s + m;
+        }
+    }
+
     /// Standardizes only a suffix slice (used by forecasting models whose
     /// target is the last stream vector: the scaler is fit on `w·N` dims
     /// and the last `N` entries correspond to `s_t`).
@@ -106,6 +117,25 @@ impl Standardizer {
             .zip(&self.std[offset..])
             .map(|((&v, &m), &s)| v * s + m)
             .collect()
+    }
+
+    /// Allocation-free [`Self::inverse_tail`].
+    pub fn inverse_tail_into(&self, tail: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), tail.len(), "standardizer output length mismatch");
+        let offset = self.mean.len() - tail.len();
+        for (o, ((&v, &m), &s)) in
+            out.iter_mut().zip(tail.iter().zip(&self.mean[offset..]).zip(&self.std[offset..]))
+        {
+            *o = v * s + m;
+        }
+    }
+
+    /// Bitwise equality of the fitted statistics — the scaler half of the
+    /// fleet's "identical inference state" cohort test.
+    pub fn state_equal(&self, other: &Standardizer) -> bool {
+        self.mean.len() == other.mean.len()
+            && self.mean.iter().zip(&other.mean).all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.std.iter().zip(&other.std).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 }
 
@@ -171,6 +201,23 @@ impl MinMaxScaler {
     pub fn inverse(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.min.len(), "scaler dimension mismatch");
         z.iter().zip(&self.min).zip(&self.range).map(|((&v, &m), &r)| v * r + m).collect()
+    }
+
+    /// Allocation-free [`Self::inverse`].
+    pub fn inverse_into(&self, z: &[f64], out: &mut [f64]) {
+        assert_eq!(z.len(), self.min.len(), "scaler dimension mismatch");
+        assert_eq!(out.len(), z.len(), "scaler output length mismatch");
+        for (o, ((&v, &m), &r)) in out.iter_mut().zip(z.iter().zip(&self.min).zip(&self.range)) {
+            *o = v * r + m;
+        }
+    }
+
+    /// Bitwise equality of the fitted statistics (see
+    /// [`Standardizer::state_equal`]).
+    pub fn state_equal(&self, other: &MinMaxScaler) -> bool {
+        self.min.len() == other.min.len()
+            && self.min.iter().zip(&other.min).all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.range.iter().zip(&other.range).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 }
 
@@ -285,5 +332,44 @@ mod tests {
         mm.transform_into(&x, &mut out);
         assert_eq!(out.map(f64::to_bits).to_vec(),
             mm.transform(&x).iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inverse_into_matches_inverse_bitwise() {
+        let train = vec![fv(&[1.0, -4.0, 0.5]), fv(&[3.0, 2.0, 9.5]), fv(&[0.0, 1.0, 4.0])];
+        let z = [0.33, -1.8, 2.4];
+        let mut out = [0.0; 3];
+        let s = Standardizer::fit(&train);
+        s.inverse_into(&z, &mut out);
+        assert_eq!(out.map(f64::to_bits).to_vec(),
+            s.inverse(&z).iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        let mm = MinMaxScaler::fit(&train);
+        mm.inverse_into(&z, &mut out);
+        assert_eq!(out.map(f64::to_bits).to_vec(),
+            mm.inverse(&z).iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inverse_tail_into_matches_inverse_tail_bitwise() {
+        let train = vec![fv(&[0.0, 100.0, 7.0]), fv(&[2.0, 300.0, -1.0])];
+        let s = Standardizer::fit(&train);
+        let tail = [0.7, -0.4];
+        let mut out = [0.0; 2];
+        s.inverse_tail_into(&tail, &mut out);
+        assert_eq!(out.map(f64::to_bits).to_vec(),
+            s.inverse_tail(&tail).iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_equal_detects_clones_and_divergence() {
+        let train = vec![fv(&[1.0, 2.0]), fv(&[4.0, -1.0]), fv(&[2.5, 0.5])];
+        let s = Standardizer::fit(&train);
+        assert!(s.state_equal(&s.clone()));
+        let other = Standardizer::fit(&train[..2]);
+        assert!(!s.state_equal(&other));
+        let mm = MinMaxScaler::fit(&train);
+        assert!(mm.state_equal(&mm.clone()));
+        let mm2 = MinMaxScaler::fit(&[fv(&[0.0, 0.0]), fv(&[9.0, 1.0])]);
+        assert!(!mm.state_equal(&mm2));
     }
 }

@@ -325,6 +325,17 @@ impl Usad {
         }
     }
 
+    /// Inference state for the fleet's cross-stream batched stepping:
+    /// `(encoder, decoder 1, fitted scaler)` — `predict` only touches
+    /// `AE₁ = D₁ ∘ E`, so `dec2` does not participate. `None` until the
+    /// networks exist.
+    pub(crate) fn inference_parts(&self) -> Option<(&Mlp, &Mlp, Option<&MinMaxScaler>)> {
+        match (&self.encoder, &self.dec1) {
+            (Some(e), Some(d1)) => Some((e, d1, self.scaler.as_ref())),
+            _ => None,
+        }
+    }
+
     /// Reconstruction `AE₁(x)` in standardized space.
     fn reconstruct_scaled(&self, z_in: &[f64]) -> Vec<f64> {
         let encoder = self.encoder.as_ref().expect("nets initialized");
@@ -409,6 +420,10 @@ impl StreamModel for Usad {
 
     fn clone_box(&self) -> Box<dyn StreamModel> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

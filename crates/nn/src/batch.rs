@@ -56,6 +56,10 @@ pub struct MlpWorkspace {
     dims: Vec<usize>,
     max_batch: usize,
     batch: usize,
+    /// `false` for inference-only workspaces (see [`Self::inference`]):
+    /// the delta and input-gradient buffers are not allocated and
+    /// [`Mlp::backward_batch`] is rejected.
+    training: bool,
     /// `B × in_dim` network input.
     input: Matrix,
     /// Per layer: `B × out_dim(l)` post-activation output.
@@ -63,9 +67,11 @@ pub struct MlpWorkspace {
     /// Per layer: `B × out_dim(l)` gradient buffer. During
     /// [`Mlp::backward_batch`], `deltas[l]` first holds `∂L/∂act_l` and is
     /// then turned into the pre-activation delta in place. The caller seeds
-    /// `deltas[last]` (via [`Self::grad_out_mut`]) with `∂L/∂ŷ`.
+    /// `deltas[last]` (via [`Self::grad_out_mut`]) with `∂L/∂ŷ`. Empty for
+    /// inference-only workspaces.
     deltas: Vec<Matrix>,
-    /// `B × in_dim` input gradient (filled on request).
+    /// `B × in_dim` input gradient (filled on request). `1 × in_dim` for
+    /// inference-only workspaces (never resized, never read).
     grad_in: Matrix,
 }
 
@@ -87,8 +93,43 @@ impl MlpWorkspace {
             deltas,
             max_batch,
             batch: max_batch,
+            training: true,
             dims,
         }
+    }
+
+    /// Creates an **inference-only** workspace for `mlp` with room for
+    /// `max_batch` rows.
+    ///
+    /// Only the input and activation matrices are allocated — roughly half
+    /// the footprint of a training workspace — which is what a serving
+    /// layer batching inference across many streams wants.
+    /// [`Mlp::forward_batch`] behaves identically (bitwise) to a training
+    /// workspace; [`Mlp::backward_batch`] panics.
+    pub fn inference(mlp: &Mlp, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "workspace needs at least one batch row");
+        let mut dims = Vec::with_capacity(mlp.layers.len() + 1);
+        dims.push(mlp.in_dim());
+        for layer in &mlp.layers {
+            dims.push(layer.out_dim());
+        }
+        let acts = dims[1..].iter().map(|&d| Matrix::zeros(max_batch, d)).collect();
+        Self {
+            input: Matrix::zeros(max_batch, dims[0]),
+            grad_in: Matrix::zeros(1, dims[0]),
+            acts,
+            deltas: Vec::new(),
+            max_batch,
+            batch: max_batch,
+            training: false,
+            dims,
+        }
+    }
+
+    /// Whether this workspace supports [`Mlp::backward_batch`] (i.e. was
+    /// created with [`Self::new`] rather than [`Self::inference`]).
+    pub fn supports_training(&self) -> bool {
+        self.training
     }
 
     /// Maximum number of rows the workspace was allocated for.
@@ -115,12 +156,14 @@ impl MlpWorkspace {
         );
         self.batch = batch;
         self.input.resize_rows(batch);
-        self.grad_in.resize_rows(batch);
         for m in &mut self.acts {
             m.resize_rows(batch);
         }
-        for m in &mut self.deltas {
-            m.resize_rows(batch);
+        if self.training {
+            self.grad_in.resize_rows(batch);
+            for m in &mut self.deltas {
+                m.resize_rows(batch);
+            }
         }
     }
 
@@ -152,6 +195,7 @@ impl MlpWorkspace {
     /// The output-gradient buffer the caller seeds with `∂L/∂ŷ` before
     /// [`Mlp::backward_batch`].
     pub fn grad_out_mut(&mut self) -> &mut Matrix {
+        assert!(self.training, "inference-only workspace has no gradient buffers");
         self.deltas.last_mut().expect("non-empty")
     }
 
@@ -159,12 +203,14 @@ impl MlpWorkspace {
     /// borrows), for loss gradients computed from workspace state — e.g.
     /// the autoencoder's `∂MSE(ŷ, x)/∂ŷ`.
     pub fn io_split(&mut self) -> (&Matrix, &Matrix, &mut Matrix) {
+        assert!(self.training, "inference-only workspace has no gradient buffers");
         (&self.input, self.acts.last().expect("non-empty"), self.deltas.last_mut().expect("non-empty"))
     }
 
     /// The input gradient `∂L/∂X` of the last backward pass (only valid if
     /// it was requested).
     pub fn grad_in(&self) -> &Matrix {
+        assert!(self.training, "inference-only workspace has no gradient buffers");
         &self.grad_in
     }
 
@@ -181,6 +227,11 @@ impl Mlp {
     /// Creates a workspace shaped for this network with `max_batch` rows.
     pub fn workspace(&self, max_batch: usize) -> MlpWorkspace {
         MlpWorkspace::new(self, max_batch)
+    }
+
+    /// Creates an inference-only workspace (see [`MlpWorkspace::inference`]).
+    pub fn inference_workspace(&self, max_batch: usize) -> MlpWorkspace {
+        MlpWorkspace::inference(self, max_batch)
     }
 
     /// Batched forward pass over the `ws.batch()` rows of `ws.input()`.
@@ -217,6 +268,7 @@ impl Mlp {
     /// Performs no heap allocation.
     pub fn backward_batch(&self, ws: &mut MlpWorkspace, grads: &mut MlpGrads, want_grad_in: bool) {
         ws.check_geometry(self);
+        assert!(ws.training, "backward_batch needs a training workspace (see MlpWorkspace::inference)");
         assert_eq!(grads.layers.len(), self.layers.len(), "grad shape mismatch");
         let batch = ws.batch;
         for l in (0..self.layers.len()).rev() {
@@ -435,6 +487,54 @@ mod tests {
         let mlp = tiny_mlp(1);
         let mut ws = mlp.workspace(2);
         ws.set_batch(3);
+    }
+
+    /// The inference-only workspace's forward pass is bitwise identical to
+    /// the training workspace's (and hence, per
+    /// `forward_batch_rows_match_per_sample_infer_bitwise`, to per-sample
+    /// `Mlp::infer`) across batch resizes.
+    #[test]
+    fn inference_workspace_forward_matches_training_workspace_bitwise() {
+        let mlp = tiny_mlp(5);
+        let mut train_ws = mlp.workspace(4);
+        let mut infer_ws = mlp.inference_workspace(4);
+        assert!(train_ws.supports_training());
+        assert!(!infer_ws.supports_training());
+        for &batch in &[4usize, 1, 3, 2] {
+            train_ws.set_batch(batch);
+            infer_ws.set_batch(batch);
+            for b in 0..batch {
+                train_ws.input_row_mut(b).copy_from_slice(&sample(b + batch));
+                infer_ws.input_row_mut(b).copy_from_slice(&sample(b + batch));
+            }
+            mlp.forward_batch(&mut train_ws);
+            mlp.forward_batch(&mut infer_ws);
+            for b in 0..batch {
+                let a: Vec<u64> = train_ws.output_row(b).iter().map(|v| v.to_bits()).collect();
+                let c: Vec<u64> = infer_ws.output_row(b).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, c, "batch {batch}, row {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a training workspace")]
+    fn backward_on_inference_workspace_panics() {
+        let mlp = tiny_mlp(6);
+        let mut ws = mlp.inference_workspace(2);
+        ws.set_batch(1);
+        ws.input_row_mut(0).copy_from_slice(&sample(0));
+        mlp.forward_batch(&mut ws);
+        let mut grads = mlp.zero_grads();
+        mlp.backward_batch(&mut ws, &mut grads, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "no gradient buffers")]
+    fn grad_out_on_inference_workspace_panics() {
+        let mlp = tiny_mlp(6);
+        let mut ws = mlp.inference_workspace(2);
+        let _ = ws.grad_out_mut();
     }
 
     #[test]

@@ -209,6 +209,30 @@ impl Mlp {
     pub fn is_finite(&self) -> bool {
         self.layers.iter().all(|l| l.weights.is_finite() && l.bias.iter().all(|b| b.is_finite()))
     }
+
+    /// `true` iff `other` has the same architecture (layer shapes and
+    /// activations) and **bitwise identical** parameters.
+    ///
+    /// This is the eligibility check for cross-stream batched inference: a
+    /// fleet may push several streams' inputs through one weight matrix
+    /// only when the streams' networks are exact clones — bit equality
+    /// (`f64::to_bits`, so `-0.0 ≠ 0.0` and NaNs compare by payload) is
+    /// what makes the shared forward pass provably identical to each
+    /// stream's own.
+    pub fn params_equal(&self, other: &Mlp) -> bool {
+        self.layers.len() == other.layers.len()
+            && self.layers.iter().zip(&other.layers).all(|(a, b)| {
+                a.activation == b.activation
+                    && a.weights.shape() == b.weights.shape()
+                    && a.bias.len() == b.bias.len()
+                    && a.weights
+                        .as_slice()
+                        .iter()
+                        .zip(b.weights.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+                    && a.bias.iter().zip(&b.bias).all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+    }
 }
 
 impl MlpGrads {
@@ -389,6 +413,21 @@ mod tests {
         for (a, b) in f1.iter().zip(&f2) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn params_equal_detects_clones_and_divergence() {
+        let mlp = tiny_mlp(51);
+        let mut clone = mlp.clone();
+        assert!(mlp.params_equal(&clone));
+        let mut params = clone.params_flat();
+        params[3] = f64::from_bits(params[3].to_bits() ^ 1); // one-ulp drift breaks bit equality
+        clone.set_params_flat(&params);
+        assert!(!mlp.params_equal(&clone));
+        // Different architecture never compares equal.
+        let mut rng = StdRng::seed_from_u64(1);
+        let other = Mlp::new(&[3, 5, 2], &[Activation::Tanh, Activation::Identity], &mut rng);
+        assert!(!mlp.params_equal(&other));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! |---|---|
 //! | [`core`] | the framework: data representation, Task-1/Task-2 learning strategies, nonconformity, anomaly scoring, the [`core::Detector`] pipeline, the Table I registry |
 //! | [`models`] | online ARIMA, VAR, PCB-iForest, 2-layer AE, USAD, N-BEATS + the spec→detector builder |
+//! | [`fleet`] | multi-stream serving: the sharded [`fleet::DetectorFleet`] with cross-stream batched NN stepping |
 //! | [`metrics`] | range precision/recall, PR-AUC, NAB, VUS |
 //! | [`data`] | synthetic Daphnet/Exathlon/SMD-like corpora, injectors, CSV I/O |
 //! | [`forest`] | extended isolation forest substrate |
@@ -41,6 +42,7 @@
 
 pub use sad_core as core;
 pub use sad_data as data;
+pub use sad_fleet as fleet;
 pub use sad_forest as forest;
 pub use sad_metrics as metrics;
 pub use sad_models as models;

@@ -1,0 +1,105 @@
+//! End-to-end smoke tests for the `streamad` binary: the `--list` table
+//! (header carries the run settings), the out-of-range `--algo` UX (show
+//! the whole table, not just the bound), a plain detection run, and the
+//! `--fleet` serving mode.
+
+use std::fmt::Write as _;
+use std::process::Command;
+
+fn streamad() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_streamad"))
+}
+
+/// A small labelled CSV in the `t,ch0,ch1,label` format, written to a
+/// unique temp path per test.
+fn write_csv(name: &str, len: usize) -> std::path::PathBuf {
+    let mut csv = String::from("t,ch0,ch1,label\n");
+    for t in 0..len {
+        let x = t as f64 * 0.09;
+        let shift = if t >= 3 * len / 4 { 2.0 } else { 0.0 };
+        let label = u8::from(t >= 3 * len / 4);
+        let _ = writeln!(csv, "{t},{},{},{label}", x.sin() + shift, (x * 0.63).cos());
+    }
+    let path = std::env::temp_dir().join(format!("streamad-cli-smoke-{name}-{}.csv", std::process::id()));
+    std::fs::write(&path, csv).expect("temp CSV is writable");
+    path
+}
+
+#[test]
+fn list_prints_header_with_run_settings_and_all_rows() {
+    let out = streamad().arg("--list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.contains("--score al"), "header shows the score setting: {header:?}");
+    assert!(header.contains("--seed 42"), "header shows the seed setting: {header:?}");
+    assert!(stdout.contains(" 0  Online ARIMA / SW"), "first algorithm row present");
+    assert!(stdout.contains("25  PCB-iForest"), "last algorithm row present");
+    // Header (2 lines) + one row per algorithm.
+    assert_eq!(stdout.lines().count(), 2 + 26, "one row per Table I algorithm");
+}
+
+#[test]
+fn out_of_range_algo_shows_the_full_table() {
+    let csv = write_csv("range", 40);
+    let out = streamad().arg(&csv).args(["--algo", "99"]).output().expect("binary runs");
+    std::fs::remove_file(&csv).ok();
+    assert!(!out.status.success(), "out-of-range --algo must fail");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--algo 99 is out of range"), "names the bad value: {stderr}");
+    assert!(stderr.contains(" 0  Online ARIMA / SW"), "table starts in the error: {stderr}");
+    assert!(stderr.contains("25  PCB-iForest"), "table ends in the error: {stderr}");
+}
+
+#[test]
+fn detection_run_reports_detections_and_metrics() {
+    let csv = write_csv("run", 320);
+    let out = streamad()
+        .arg(&csv)
+        .args(["--algo", "0", "--window", "6", "--warmup", "80", "--capacity", "16"])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&csv).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("detections"), "detection report present: {stdout}");
+    assert!(stdout.contains("metrics vs ground truth"), "labelled CSV yields metrics: {stdout}");
+}
+
+#[test]
+fn fleet_mode_reports_throughput_and_batched_rows() {
+    let csv = write_csv("fleet", 220);
+    let out = streamad()
+        .arg(&csv)
+        .args(["--algo", "6", "--window", "6", "--warmup", "80", "--capacity", "16"])
+        .args(["--fleet", "6", "--shards", "2"])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&csv).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("batched rows"), "serving breakdown present: {stdout}");
+    assert!(stdout.contains("throughput:"), "throughput line present: {stdout}");
+    assert!(stdout.contains("round latency: p50"), "latency percentiles present: {stdout}");
+    // 220 steps x 6 streams, every vector served exactly once.
+    assert!(stdout.contains("served 1320 detector steps"), "step accounting: {stdout}");
+}
+
+#[test]
+fn fleet_no_batch_serves_scalar_only() {
+    let csv = write_csv("nobatch", 160);
+    let out = streamad()
+        .arg(&csv)
+        .args(["--algo", "6", "--window", "6", "--warmup", "80", "--capacity", "16"])
+        .args(["--fleet", "3", "--no-batch"])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&csv).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("0 batched rows in 0 shared passes, 480 scalar"),
+        "batching off serves everything scalar: {stdout}",
+    );
+}
