@@ -1,0 +1,44 @@
+use sad_core::{Detector, DetectorConfig, ScoreKind, StepOutput};
+use sad_fleet::{DetectorFleet, FleetConfig};
+use sad_models::{build_detector, BuildParams};
+
+fn ae_detector(seed: u64) -> Detector {
+    let config = DetectorConfig {
+        window: 6, channels: 2, warmup: 60, initial_epochs: 2, fine_tune_epochs: 1,
+    };
+    let spec = sad_core::paper_algorithms().iter().copied()
+        .find(|s| s.label().contains("AE") && s.label().contains("SW"))
+        .unwrap();
+    let params = BuildParams::new(config).with_capacity(20).with_score(ScoreKind::Raw).with_seed(seed);
+    build_detector(spec, &params)
+}
+
+fn vec_at(t: usize) -> Vec<f64> {
+    let x = t as f64 * 0.07;
+    vec![x.sin(), (x * 0.6).cos()]
+}
+
+#[test]
+fn probe_warm_started_detector_loses_first_output() {
+    // Warm-start a template past warm-up, as examples/server_fleet.rs does.
+    let mut template = ae_detector(7);
+    let mut reference = ae_detector(7);
+    for t in 0..70 {
+        template.step(&vec_at(t));
+        reference.step(&vec_at(t));
+    }
+    assert!(template.is_warmed_up());
+
+    let config = FleetConfig { queue_capacity: 8, ..FleetConfig::default() };
+    let mut fleet = DetectorFleet::new(vec![template], config);
+    // Two vectors queued before the first drain.
+    assert!(fleet.enqueue(0, &vec_at(70)));
+    assert!(fleet.enqueue(0, &vec_at(71)));
+    let mut out: Vec<Option<StepOutput>> = Vec::new();
+    let consumed = fleet.drain_round(&mut out);
+    let got = out[0].expect("post-warm-up step yields output");
+    let want = reference.step(&vec_at(70)).unwrap();
+    eprintln!("consumed={consumed} got t={} want t={} steps={}", got.t, want.t, fleet.stats().steps);
+    assert_eq!(got.t, want.t, "first drain must report the FIRST queued vector's step");
+    assert_eq!(got.anomaly_score.to_bits(), want.anomaly_score.to_bits());
+}
