@@ -94,6 +94,26 @@ fn bench_training_paths(c: &mut Criterion) {
             }
         });
     });
+    // The f32 inference plan on the same batch shape — what the fleet's
+    // `--f32-infer` snapshot path runs per cohort round. Same structure
+    // (one X·Wᵀ GEMM per layer), half the bytes streamed per weight.
+    group.bench_function("infer_plan_forward_batch_8", |b| {
+        let net = net();
+        let plan = net.infer_plan();
+        let mut ws = plan.workspace(8);
+        b.iter(|| {
+            for chunk in train.chunks(8) {
+                ws.set_batch(chunk.len());
+                for (i, x) in chunk.iter().enumerate() {
+                    for (o, &v) in ws.input_row_mut(i).iter_mut().zip(black_box(x)) {
+                        *o = v as f32;
+                    }
+                }
+                plan.forward_batch(&mut ws);
+                black_box(ws.output());
+            }
+        });
+    });
     group.finish();
 }
 

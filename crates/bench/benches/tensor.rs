@@ -70,6 +70,66 @@ fn bench_transpose_b(c: &mut Criterion) {
     group.finish();
 }
 
+/// f32 mirror of [`dense`].
+fn dense_f32(rows: usize, cols: usize, salt: u64) -> Matrix<f32> {
+    Matrix::from_precision(&dense(rows, cols, salt))
+}
+
+/// The precision comparison on the serving GEMM (`matmul_transpose_b` is
+/// what both the f64 inference workspace and the f32 inference plans run):
+/// identical shapes, f64 pinned kernel vs f32 8-lane kernel. The f32 rows
+/// stream half the bytes per element — at memory-bound shapes that is the
+/// whole win the fleet's `--f32-infer` mode banks on.
+fn bench_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_precision");
+    for &(rows, cols) in &[(64usize, 64usize), (256, 64)] {
+        let id = format!("{rows}x{cols}");
+        let a64 = dense(rows, cols, 8);
+        let b64 = dense(rows, cols, 9);
+        let mut out64 = Matrix::<f64>::zeros(rows, rows);
+        group.bench_with_input(BenchmarkId::new("f64_tiled", &id), &rows, |bch, _| {
+            bch.iter(|| black_box(&a64).matmul_transpose_b_into(black_box(&b64), &mut out64))
+        });
+        let a32 = dense_f32(rows, cols, 8);
+        let b32 = dense_f32(rows, cols, 9);
+        let mut out32 = Matrix::<f32>::zeros(rows, rows);
+        group.bench_with_input(BenchmarkId::new("f32_tiled", &id), &rows, |bch, _| {
+            bch.iter(|| black_box(&a32).matmul_transpose_b_into(black_box(&b32), &mut out32))
+        });
+    }
+    group.finish();
+}
+
+/// Tiled vs legacy (naive triple-loop, single accumulator) product — the
+/// tiling win in isolation, same precision on both sides.
+fn bench_tiled_vs_legacy(c: &mut Criterion) {
+    fn naive_matmul(a: &Matrix<f64>, b: &Matrix<f64>, out: &mut Matrix<f64>) {
+        let (m, kk) = a.shape();
+        let n = b.cols();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..kk {
+                    acc += a.row(i)[k] * b.row(k)[j];
+                }
+                out.row_mut(i)[j] = acc;
+            }
+        }
+    }
+    let mut group = c.benchmark_group("matmul_tiling");
+    let n = 64usize;
+    let a = dense(n, n, 10);
+    let b = dense(n, n, 11);
+    let mut out = Matrix::<f64>::zeros(n, n);
+    group.bench_with_input(BenchmarkId::new("legacy_naive_ijk", format!("{n}x{n}")), &n, |bch, _| {
+        bch.iter(|| naive_matmul(black_box(&a), black_box(&b), &mut out))
+    });
+    group.bench_with_input(BenchmarkId::new("tiled_ikj", format!("{n}x{n}")), &n, |bch, _| {
+        bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out))
+    });
+    group.finish();
+}
+
 fn bench_least_squares(c: &mut Criterion) {
     let mut group = c.benchmark_group("least_squares");
     // The VAR(3) refit shape on a 9-channel corpus: K = 1 + 3*9 = 28.
@@ -81,5 +141,13 @@ fn bench_least_squares(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_transpose_a, bench_transpose_b, bench_least_squares);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_transpose_a,
+    bench_transpose_b,
+    bench_precision,
+    bench_tiled_vs_legacy,
+    bench_least_squares
+);
 criterion_main!(benches);

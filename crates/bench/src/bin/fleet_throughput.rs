@@ -10,8 +10,13 @@
 //! `predict` calls, single-threaded (shards = 1, parallel off — the
 //! batching win must not lean on parallelism).
 //!
-//! Writes `bench_output/fleet_throughput.json`: per fleet size, both
-//! modes' steps/sec, round-latency p50/p99, and the cohort counters
+//! Three modes per fleet size: `scalar` (per-stream `Detector::step`),
+//! `batched` (shared f64 `forward_batch` per cohort — bitwise-parity
+//! mode), and `batched_f32` (`--f32-infer`: cohort forward passes through
+//! f32 weight snapshots — tolerance mode, ~half the weight traffic).
+//!
+//! Writes `bench_output/fleet_throughput.json`: per fleet size, each
+//! mode's steps/sec, round-latency p50/p99, and the cohort counters
 //! proving the batched runs actually amortized (rows/pass ≈ fleet size,
 //! one cohort rebuild at group formation).
 //!
@@ -68,6 +73,13 @@ fn detector() -> Detector {
     build_detector(ae_spec(), &params)
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Scalar,
+    Batched,
+    BatchedF32,
+}
+
 struct ModeResult {
     steps: usize,
     steps_per_sec: f64,
@@ -86,9 +98,15 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
 
 /// Serves `rounds` timed rounds (after untimed warm-up + settling) on a
 /// fresh fleet of `n` identically-seeded detectors.
-fn serve(n: usize, batching: bool, rounds: usize) -> ModeResult {
+fn serve(n: usize, mode: Mode, rounds: usize) -> ModeResult {
     let detectors: Vec<Detector> = (0..n).map(|_| detector()).collect();
-    let config = FleetConfig { shards: 1, batching, parallel: false, queue_capacity: 4 };
+    let config = FleetConfig {
+        shards: 1,
+        batching: mode != Mode::Scalar,
+        parallel: false,
+        queue_capacity: 4,
+        f32_infer: mode == Mode::BatchedF32,
+    };
     let mut fleet = DetectorFleet::new(detectors, config);
 
     let mut buf = vec![0.0; CHANNELS];
@@ -124,14 +142,24 @@ fn serve(n: usize, batching: bool, rounds: usize) -> ModeResult {
     assert_eq!(stats.cohort_rebuilds, settled.cohort_rebuilds, "timed region must not fine-tune");
     let steps = stats.steps - settled.steps;
     assert_eq!(steps, rounds * n, "every stream serves every round");
-    if batching {
-        assert_eq!(
-            stats.batched_rows - settled.batched_rows,
-            steps,
-            "identical replicas must stay one cohort",
-        );
-    } else {
-        assert_eq!(stats.batched_rows, 0, "batching off must stay scalar");
+    match mode {
+        Mode::Scalar => assert_eq!(stats.batched_rows, 0, "batching off must stay scalar"),
+        Mode::Batched | Mode::BatchedF32 => {
+            assert_eq!(
+                stats.batched_rows - settled.batched_rows,
+                steps,
+                "identical replicas must stay one cohort",
+            );
+            if mode == Mode::BatchedF32 {
+                assert_eq!(
+                    stats.f32_rows - settled.f32_rows,
+                    steps,
+                    "f32 mode must serve every batched row through a snapshot",
+                );
+            } else {
+                assert_eq!(stats.f32_rows, 0, "f64 mode must not touch the f32 path");
+            }
+        }
     }
 
     round_ns.sort_unstable();
@@ -148,13 +176,14 @@ fn json_mode(r: &ModeResult) -> String {
     format!(
         "{{\"steps\": {}, \"steps_per_sec\": {:.1}, \"round_p50_us\": {:.2}, \
          \"round_p99_us\": {:.2}, \"batched_rows\": {}, \"batches\": {}, \
-         \"cohort_rebuilds\": {}}}",
+         \"f32_rows\": {}, \"cohort_rebuilds\": {}}}",
         r.steps,
         r.steps_per_sec,
         r.p50_us,
         r.p99_us,
         r.stats.batched_rows,
         r.stats.batches,
+        r.stats.f32_rows,
         r.stats.cohort_rebuilds,
     )
 }
@@ -169,16 +198,19 @@ fn main() {
     );
     let mut entries = Vec::new();
     for &n in sizes {
-        let batched = serve(n, true, rounds);
-        let scalar = serve(n, false, rounds);
+        let batched = serve(n, Mode::Batched, rounds);
+        let batched_f32 = serve(n, Mode::BatchedF32, rounds);
+        let scalar = serve(n, Mode::Scalar, rounds);
         let speedup = batched.steps_per_sec / scalar.steps_per_sec.max(1e-12);
+        let speedup_f32 = batched_f32.steps_per_sec / scalar.steps_per_sec.max(1e-12);
         println!(
-            "  {n:>3} streams: batched {:>9.0} steps/s (p50 {:>7.1} us)  scalar {:>9.0} steps/s (p50 {:>7.1} us)  speedup {speedup:.2}x",
-            batched.steps_per_sec, batched.p50_us, scalar.steps_per_sec, scalar.p50_us,
+            "  {n:>3} streams: batched {:>9.0} steps/s  f32 {:>9.0} steps/s  scalar {:>9.0} steps/s  speedup {speedup:.2}x / {speedup_f32:.2}x",
+            batched.steps_per_sec, batched_f32.steps_per_sec, scalar.steps_per_sec,
         );
         entries.push(format!(
-            "    {{\"streams\": {n}, \"speedup\": {speedup:.3},\n      \"batched\": {},\n      \"scalar\": {}}}",
+            "    {{\"streams\": {n}, \"speedup\": {speedup:.3}, \"speedup_f32\": {speedup_f32:.3},\n      \"batched\": {},\n      \"batched_f32\": {},\n      \"scalar\": {}}}",
             json_mode(&batched),
+            json_mode(&batched_f32),
             json_mode(&scalar),
         ));
     }

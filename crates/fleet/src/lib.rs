@@ -38,7 +38,7 @@
 //! counts and parallelism settings.
 
 use sad_core::{Detector, ModelOutput, StepOutput};
-use sad_models::{batch_arch_key, infer_state_equal, ArchKey, InferBatch};
+use sad_models::{batch_arch_key, infer_state_equal, ArchKey, InferBatch, InferBatchF32};
 
 /// Static configuration of a [`DetectorFleet`].
 #[derive(Debug, Clone)]
@@ -54,11 +54,20 @@ pub struct FleetConfig {
     pub parallel: bool,
     /// Per-stream input queue capacity (stream vectors).
     pub queue_capacity: usize,
+    /// Serves cohort forward passes through f32 weight snapshots
+    /// (`sad_models::InferBatchF32`) instead of the live f64 parameters.
+    /// Roughly doubles effective memory bandwidth in the memory-bound
+    /// serving GEMMs; outputs agree with the f64 path to f32 relative
+    /// accuracy rather than bitwise. Training, fine-tuning and the
+    /// detector's score/threshold state stay f64 — snapshots are re-synced
+    /// on the same dirty-on-training-event hook that rebuilds cohorts.
+    /// Requires `batching`; off by default (the parity-proof default).
+    pub f32_infer: bool,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { shards: 1, batching: true, parallel: false, queue_capacity: 64 }
+        Self { shards: 1, batching: true, parallel: false, queue_capacity: 64, f32_infer: false }
     }
 }
 
@@ -75,6 +84,9 @@ pub struct FleetStats {
     /// Batched forward passes executed (`batched_rows / batches` = mean
     /// rows amortized per pass).
     pub batches: usize,
+    /// Subset of `batched_rows` served through an f32 snapshot
+    /// (`FleetConfig::f32_infer`).
+    pub f32_rows: usize,
     /// Cohort rebuilds triggered by training events.
     pub cohort_rebuilds: usize,
 }
@@ -140,6 +152,16 @@ struct StreamSlot {
 struct ArchGroup {
     arch: ArchKey,
     batch: InferBatch,
+    /// f32 weight snapshots, one per cohort (`FleetConfig::f32_infer`).
+    /// Unlike `batch` — which reads the live leader parameters and so can
+    /// be shared by the whole group — a snapshot *owns* converted weights,
+    /// so each cohort needs its own. Maintained by `rebuild_cohorts`:
+    /// existing slots are re-synced in place (allocation-free), new
+    /// cohorts get fresh snapshots, and surplus slots are dropped. Empty
+    /// when f32 serving is off.
+    f32_batches: Vec<InferBatchF32>,
+    /// Whether this group serves through `f32_batches`.
+    f32_infer: bool,
     /// Member slot indices (shard-local).
     members: Vec<usize>,
     /// Cohort id per member (parallel to `members`).
@@ -166,17 +188,19 @@ struct Shard {
     outs: Vec<Option<StepOutput>>,
     groups: Vec<ArchGroup>,
     batching: bool,
+    f32_infer: bool,
     stats: FleetStats,
 }
 
 impl Shard {
-    fn new(batching: bool) -> Self {
+    fn new(batching: bool, f32_infer: bool) -> Self {
         Self {
             slots: Vec::new(),
             out_bufs: Vec::new(),
             outs: Vec::new(),
             groups: Vec::new(),
             batching,
+            f32_infer,
             stats: FleetStats::default(),
         }
     }
@@ -210,6 +234,8 @@ impl Shard {
                 self.groups.push(ArchGroup {
                     arch,
                     batch,
+                    f32_batches: Vec::new(),
+                    f32_infer: self.f32_infer,
                     members: Vec::new(),
                     cohort_of: Vec::new(),
                     n_cohorts: 0,
@@ -251,6 +277,29 @@ impl Shard {
                 group.n_cohorts += 1;
                 group.n_cohorts - 1
             });
+        }
+        // f32 serving: re-sync one weight snapshot per cohort. This is the
+        // training-event hook — it never runs in the per-step hot path, and
+        // re-syncing an existing slot is allocation-free, so steady-state
+        // rounds stay zero-alloc. Cohort ids shuffle across rebuilds;
+        // slot `c` is simply re-synced from the *new* cohort `c`'s leader
+        // (same architecture by the group invariant).
+        if group.f32_infer {
+            let capacity = group.batch.capacity();
+            for c in 0..group.n_cohorts {
+                let leader_pos = (0..group.members.len())
+                    .find(|&i| group.cohort_of[i] == c)
+                    .expect("every cohort has a member");
+                let leader = slots[group.members[leader_pos]].det.model();
+                if let Some(existing) = group.f32_batches.get_mut(c) {
+                    existing.refresh(leader);
+                } else {
+                    group.f32_batches.push(
+                        InferBatchF32::new(leader, capacity).expect("grouped models are batchable"),
+                    );
+                }
+            }
+            group.f32_batches.truncate(group.n_cohorts);
         }
         group.dirty = false;
     }
@@ -316,19 +365,44 @@ impl Shard {
                 }
                 let rows = group.cohort_rows.len();
                 let leader_slot = group.members[group.cohort_rows[0]];
-                group.batch.begin(rows);
-                for (row, &pos) in group.cohort_rows.iter().enumerate() {
-                    let si = group.members[pos];
-                    group.batch.pack(slots[leader_slot].det.model(), row, slots[si].det.feature());
-                }
-                group.batch.forward(slots[leader_slot].det.model());
                 // Scatter every row's output *before* any finish_step: a
                 // fine-tune inside finish must not be able to perturb a
                 // sibling's emit (it can't — fine-tunes never refit the
                 // scaler — but the ordering makes parity unconditional).
-                for (row, &pos) in group.cohort_rows.iter().enumerate() {
-                    let si = group.members[pos];
-                    group.batch.emit_into(slots[leader_slot].det.model(), row, &mut out_bufs[si]);
+                if group.f32_infer {
+                    // f32 snapshot path: the cohort's own snapshot holds
+                    // converted weights and scaler, so no leader is read.
+                    let batch = &mut group.f32_batches[c];
+                    batch.begin(rows);
+                    for (row, &pos) in group.cohort_rows.iter().enumerate() {
+                        let si = group.members[pos];
+                        batch.pack(row, slots[si].det.feature());
+                    }
+                    batch.forward();
+                    for (row, &pos) in group.cohort_rows.iter().enumerate() {
+                        let si = group.members[pos];
+                        batch.emit_into(row, &mut out_bufs[si]);
+                    }
+                    stats.f32_rows += rows;
+                } else {
+                    group.batch.begin(rows);
+                    for (row, &pos) in group.cohort_rows.iter().enumerate() {
+                        let si = group.members[pos];
+                        group.batch.pack(
+                            slots[leader_slot].det.model(),
+                            row,
+                            slots[si].det.feature(),
+                        );
+                    }
+                    group.batch.forward(slots[leader_slot].det.model());
+                    for (row, &pos) in group.cohort_rows.iter().enumerate() {
+                        let si = group.members[pos];
+                        group.batch.emit_into(
+                            slots[leader_slot].det.model(),
+                            row,
+                            &mut out_bufs[si],
+                        );
+                    }
                 }
                 for &pos in group.cohort_rows.iter() {
                     let si = group.members[pos];
@@ -372,7 +446,9 @@ impl DetectorFleet {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let n_streams = detectors.len();
         let n_shards = config.shards.min(n_streams);
-        let mut shards: Vec<Shard> = (0..n_shards).map(|_| Shard::new(config.batching)).collect();
+        let mut shards: Vec<Shard> = (0..n_shards)
+            .map(|_| Shard::new(config.batching, config.batching && config.f32_infer))
+            .collect();
         for (id, det) in detectors.into_iter().enumerate() {
             shards[id % n_shards].push_stream(id, det, config.queue_capacity);
         }
@@ -478,6 +554,7 @@ impl DetectorFleet {
             total.scalar_steps += s.scalar_steps;
             total.batched_rows += s.batched_rows;
             total.batches += s.batches;
+            total.f32_rows += s.f32_rows;
             total.cohort_rebuilds += s.cohort_rebuilds;
         }
         total

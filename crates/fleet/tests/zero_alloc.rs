@@ -155,3 +155,54 @@ fn steady_state_fleet_round_is_allocation_free() {
     );
     assert_eq!(stats.cohort_rebuilds, settled.cohort_rebuilds, "no training events while armed");
 }
+
+/// Same guard for the f32 snapshot path (`FleetConfig::f32_infer`): the
+/// per-cohort `InferBatchF32` owns every converted buffer, so a
+/// steady-state round — f32 pack, snapshot `forward_batch`, widening
+/// emit — must not allocate either.
+#[test]
+fn steady_state_f32_fleet_round_is_allocation_free() {
+    let dets: Vec<Detector> = (0..STREAMS).map(|_| ae_detector()).collect();
+    let config = FleetConfig { f32_infer: true, ..FleetConfig::default() };
+    let mut fleet = DetectorFleet::new(dets, config);
+    let mut out: Vec<Option<StepOutput>> = Vec::new();
+    let mut t = 0usize;
+
+    for _ in 0..192 {
+        let s = stream_vector(t);
+        for i in 0..STREAMS {
+            assert!(fleet.enqueue(i, &s));
+        }
+        fleet.drain_round(&mut out);
+        t += 1;
+    }
+    for i in 0..STREAMS {
+        assert!(
+            fleet.detector(i).drift_times().is_empty(),
+            "stream must be drift-free for this guard",
+        );
+    }
+    let settled = fleet.stats();
+    assert!(settled.f32_rows > 0, "f32 cohort must have formed during settle: {settled:?}");
+
+    let n = count_allocs(|| {
+        for _ in 0..256 {
+            let s = stream_vector(t);
+            for i in 0..STREAMS {
+                assert!(fleet.enqueue(i, &s));
+            }
+            let consumed = fleet.drain_round(&mut out);
+            assert_eq!(consumed, STREAMS);
+            t += 1;
+        }
+    });
+    assert_eq!(n, 0, "steady-state f32 fleet round must not allocate, saw {n}");
+
+    let stats = fleet.stats();
+    assert_eq!(
+        stats.f32_rows - settled.f32_rows,
+        256 * STREAMS,
+        "armed window must be fully f32-batched: {stats:?}",
+    );
+    assert_eq!(stats.cohort_rebuilds, settled.cohort_rebuilds, "no training events while armed");
+}

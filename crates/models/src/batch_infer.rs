@@ -407,7 +407,7 @@ impl InferBatch {
     }
 }
 
-fn reconstruction_buf(out: &mut ModelOutput, len: usize) -> &mut [f64] {
+pub(crate) fn reconstruction_buf(out: &mut ModelOutput, len: usize) -> &mut [f64] {
     if !matches!(out, ModelOutput::Reconstruction(v) if v.len() == len) {
         *out = ModelOutput::Reconstruction(vec![0.0; len]);
     }
@@ -417,7 +417,7 @@ fn reconstruction_buf(out: &mut ModelOutput, len: usize) -> &mut [f64] {
     }
 }
 
-fn forecast_buf(out: &mut ModelOutput, len: usize) -> &mut [f64] {
+pub(crate) fn forecast_buf(out: &mut ModelOutput, len: usize) -> &mut [f64] {
     if !matches!(out, ModelOutput::Forecast(v) if v.len() == len) {
         *out = ModelOutput::Forecast(vec![0.0; len]);
     }

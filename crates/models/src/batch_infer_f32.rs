@@ -1,0 +1,465 @@
+//! f32 cross-stream batched inference — the serving fast path.
+//!
+//! Mirror of [`crate::batch_infer::InferBatch`] built on `sad_nn`'s
+//! [`InferPlan`]: every network a cohort's `predict` touches is snapshotted
+//! as f32 weights, the fitted scaler as an f32 affine map
+//! ([`ScalerF32`]), and the whole `begin`/`pack`/`forward`/`emit_into`
+//! round runs in f32. At serving batch sizes the GEMMs are memory-bound,
+//! so halving the bytes per weight roughly doubles effective bandwidth.
+//!
+//! Two deliberate differences from the f64 batch:
+//!
+//! * **Snapshots, not references.** The f64 `InferBatch` reads the leader's
+//!   live parameters at every call, so one workspace serves a whole
+//!   architecture *group*. An `InferBatchF32` owns converted copies, so the
+//!   fleet keeps one per *cohort* and re-syncs it with [`refresh`] on the
+//!   same dirty-on-training-event hook that rebuilds cohort membership.
+//!   Consequently `pack`/`forward`/`emit_into` need no leader argument.
+//! * **Tolerance, not parity.** Outputs agree with the f64 path to f32
+//!   relative accuracy (asserted in the tests below); they feed the
+//!   nonconformity scorer but never any training state, so the workspace's
+//!   bitwise-parity proofs are untouched.
+//!
+//! [`refresh`]: InferBatchF32::refresh
+
+use crate::ae::TwoLayerAe;
+use crate::batch_infer::{forecast_buf, reconstruction_buf};
+use crate::nbeats::NBeats;
+use crate::scaler::ScalerF32;
+use crate::usad::Usad;
+use sad_core::{FeatureVector, ModelOutput, StreamModel};
+use sad_nn::{InferPlan, InferPlanWorkspace, Mlp};
+use sad_tensor::Matrix;
+
+/// One snapshotted network plus its batch workspace.
+#[derive(Debug, Clone)]
+struct PlanWs {
+    plan: InferPlan,
+    ws: InferPlanWorkspace,
+}
+
+impl PlanWs {
+    fn new(mlp: &Mlp, capacity: usize) -> Self {
+        let plan = mlp.infer_plan();
+        let ws = plan.workspace(capacity);
+        Self { plan, ws }
+    }
+
+    fn forward(&mut self) {
+        self.plan.forward_batch(&mut self.ws);
+    }
+}
+
+/// Per-block plans for the N-BEATS residual stack.
+#[derive(Debug, Clone)]
+struct NBeatsBlockPlans {
+    trunk: PlanWs,
+    backcast: PlanWs,
+    forecast: PlanWs,
+}
+
+enum BatchInnerF32 {
+    Ae {
+        net: PlanWs,
+        scaler: Option<ScalerF32>,
+    },
+    Usad {
+        encoder: PlanWs,
+        dec1: PlanWs,
+        scaler: Option<ScalerF32>,
+    },
+    NBeats {
+        blocks: Vec<NBeatsBlockPlans>,
+        /// `B×n` running forecast sum `Σ_l ŷ_l`.
+        forecast: Matrix<f32>,
+        /// `w·N` scratch for the scaled full window before the
+        /// history/target split.
+        scratch: Vec<f32>,
+        scaler: Option<ScalerF32>,
+    },
+}
+
+/// Reusable f32 batched-inference snapshot for one cohort.
+///
+/// Per-step loop: `begin(rows)` → `pack(row, x)` per stream → `forward()`
+/// → `emit_into(row, out)` per stream. All buffers are sized once for
+/// `capacity` rows and the snapshot re-syncs in place, so steady-state
+/// rounds (including post-training [`refresh`]es) perform zero heap
+/// allocations.
+///
+/// [`refresh`]: InferBatchF32::refresh
+pub struct InferBatchF32 {
+    inner: BatchInnerF32,
+    capacity: usize,
+    rows: usize,
+}
+
+impl InferBatchF32 {
+    /// Snapshots `leader`'s inference state, or `None` when the model is
+    /// not batchable (same eligibility as [`crate::batch_arch_key`]).
+    pub fn new(leader: &dyn StreamModel, capacity: usize) -> Option<Self> {
+        assert!(capacity > 0, "batch capacity must be positive");
+        let any = leader.as_any()?;
+        let inner = if let Some(ae) = any.downcast_ref::<TwoLayerAe>() {
+            let (net, scaler) = ae.inference_parts()?;
+            BatchInnerF32::Ae {
+                net: PlanWs::new(net, capacity),
+                scaler: scaler.map(ScalerF32::from_standardizer),
+            }
+        } else if let Some(usad) = any.downcast_ref::<Usad>() {
+            let (encoder, dec1, scaler) = usad.inference_parts()?;
+            BatchInnerF32::Usad {
+                encoder: PlanWs::new(encoder, capacity),
+                dec1: PlanWs::new(dec1, capacity),
+                scaler: scaler.map(ScalerF32::from_minmax),
+            }
+        } else if let Some(nb) = any.downcast_ref::<NBeats>() {
+            let (blocks, scaler) = nb.inference_parts()?;
+            let input = blocks[0].trunk.in_dim();
+            let output = blocks[0].forecast_head.out_dim();
+            BatchInnerF32::NBeats {
+                blocks: blocks
+                    .iter()
+                    .map(|b| NBeatsBlockPlans {
+                        trunk: PlanWs::new(&b.trunk, capacity),
+                        backcast: PlanWs::new(&b.backcast_head, capacity),
+                        forecast: PlanWs::new(&b.forecast_head, capacity),
+                    })
+                    .collect(),
+                forecast: Matrix::zeros(capacity, output),
+                scratch: vec![0.0; input + output],
+                scaler: scaler.map(ScalerF32::from_standardizer),
+            }
+        } else {
+            return None;
+        };
+        Some(Self { inner, capacity, rows: 0 })
+    }
+
+    /// Maximum rows per forward pass.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Re-converts every snapshotted parameter from `leader` in place —
+    /// the training-event hook. Allocation-free as long as the leader's
+    /// architecture (and scaler presence) is unchanged, which is the
+    /// cohort invariant; otherwise panics.
+    ///
+    /// # Panics
+    /// Panics if `leader` is a different model kind/shape than the
+    /// snapshot, or its scaler appeared/disappeared.
+    pub fn refresh(&mut self, leader: &dyn StreamModel) {
+        let any = leader.as_any().expect("batchable leader");
+        match &mut self.inner {
+            BatchInnerF32::Ae { net, scaler } => {
+                let (mlp, s) = any
+                    .downcast_ref::<TwoLayerAe>()
+                    .expect("AE snapshot refreshed from AE leader")
+                    .inference_parts()
+                    .expect("fitted leader");
+                net.plan.refresh(mlp);
+                refresh_scaler(scaler, s, ScalerF32::refresh_standardizer);
+            }
+            BatchInnerF32::Usad { encoder, dec1, scaler } => {
+                let (e, d1, s) = any
+                    .downcast_ref::<Usad>()
+                    .expect("USAD snapshot refreshed from USAD leader")
+                    .inference_parts()
+                    .expect("fitted leader");
+                encoder.plan.refresh(e);
+                dec1.plan.refresh(d1);
+                refresh_scaler(scaler, s, ScalerF32::refresh_minmax);
+            }
+            BatchInnerF32::NBeats { blocks, scaler, .. } => {
+                let (nets, s) = any
+                    .downcast_ref::<NBeats>()
+                    .expect("N-BEATS snapshot refreshed from N-BEATS leader")
+                    .inference_parts()
+                    .expect("fitted leader");
+                assert_eq!(blocks.len(), nets.len(), "N-BEATS block count mismatch");
+                for (plans, net) in blocks.iter_mut().zip(nets) {
+                    plans.trunk.plan.refresh(&net.trunk);
+                    plans.backcast.plan.refresh(&net.backcast_head);
+                    plans.forecast.plan.refresh(&net.forecast_head);
+                }
+                refresh_scaler(scaler, s, ScalerF32::refresh_standardizer);
+            }
+        }
+    }
+
+    /// Starts a round of `rows ≤ capacity` streams.
+    pub fn begin(&mut self, rows: usize) {
+        assert!(rows > 0 && rows <= self.capacity, "rows {rows} out of 1..={}", self.capacity);
+        self.rows = rows;
+        match &mut self.inner {
+            BatchInnerF32::Ae { net, .. } => net.ws.set_batch(rows),
+            BatchInnerF32::Usad { encoder, dec1, .. } => {
+                encoder.ws.set_batch(rows);
+                dec1.ws.set_batch(rows);
+            }
+            BatchInnerF32::NBeats { blocks, forecast, .. } => {
+                for b in blocks.iter_mut() {
+                    b.trunk.ws.set_batch(rows);
+                    b.backcast.ws.set_batch(rows);
+                    b.forecast.ws.set_batch(rows);
+                }
+                forecast.resize_rows(rows);
+            }
+        }
+    }
+
+    /// Loads stream `row`'s feature window through the snapshotted input
+    /// scaling.
+    pub fn pack(&mut self, row: usize, x: &FeatureVector) {
+        assert!(row < self.rows, "row {row} out of batch of {}", self.rows);
+        match &mut self.inner {
+            BatchInnerF32::Ae { net, scaler } => {
+                pack_row(scaler.as_ref(), x.as_slice(), net.ws.input_row_mut(row));
+            }
+            BatchInnerF32::Usad { encoder, scaler, .. } => {
+                pack_row(scaler.as_ref(), x.as_slice(), encoder.ws.input_row_mut(row));
+            }
+            BatchInnerF32::NBeats { blocks, scratch, scaler, .. } => {
+                assert!(x.w() >= 2, "N-BEATS needs at least two steps of history");
+                pack_row(scaler.as_ref(), x.as_slice(), scratch);
+                let split = scratch.len() - x.n();
+                blocks[0].trunk.ws.input_row_mut(row).copy_from_slice(&scratch[..split]);
+            }
+        }
+    }
+
+    /// Runs the snapshotted forward pass(es) for the whole batch.
+    pub fn forward(&mut self) {
+        match &mut self.inner {
+            BatchInnerF32::Ae { net, .. } => net.forward(),
+            BatchInnerF32::Usad { encoder, dec1, .. } => {
+                encoder.forward();
+                dec1.ws.input_mut().copy_from(encoder.ws.output());
+                dec1.forward();
+            }
+            BatchInnerF32::NBeats { blocks, forecast, .. } => {
+                let rows = self.rows;
+                let n_blocks = blocks.len();
+                for l in 0..n_blocks {
+                    {
+                        let bb = &mut blocks[l];
+                        bb.trunk.forward();
+                        bb.backcast.ws.input_mut().copy_from(bb.trunk.ws.output());
+                        bb.backcast.forward();
+                        bb.forecast.ws.input_mut().copy_from(bb.trunk.ws.output());
+                        bb.forecast.forward();
+                        if l == 0 {
+                            forecast.copy_from(bb.forecast.ws.output());
+                        } else {
+                            for b in 0..rows {
+                                for (acc, &fv) in forecast
+                                    .row_mut(b)
+                                    .iter_mut()
+                                    .zip(bb.forecast.ws.output().row(b))
+                                {
+                                    *acc += fv;
+                                }
+                            }
+                        }
+                    }
+                    // x_{l+1} = x_l − x̂_l into the next block's trunk input.
+                    if l + 1 < n_blocks {
+                        let (cur, rest) = blocks.split_at_mut(l + 1);
+                        let bb = &cur[l];
+                        let next = &mut rest[0];
+                        for b in 0..rows {
+                            for ((o, &r), &bv) in next
+                                .trunk
+                                .ws
+                                .input_row_mut(b)
+                                .iter_mut()
+                                .zip(bb.trunk.ws.input().row(b))
+                                .zip(bb.backcast.ws.output().row(b))
+                            {
+                                *o = r - bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes stream `row`'s model output into `out`, widening back to f64
+    /// raw units through the snapshotted inverse scaling. Reuses `out`'s
+    /// buffer when the variant and length match, as the f64 path does.
+    pub fn emit_into(&self, row: usize, out: &mut ModelOutput) {
+        assert!(row < self.rows, "row {row} out of batch of {}", self.rows);
+        match &self.inner {
+            BatchInnerF32::Ae { net, scaler } => {
+                let z = net.ws.output_row(row);
+                emit_row(scaler.as_ref(), z, reconstruction_buf(out, z.len()));
+            }
+            BatchInnerF32::Usad { dec1, scaler, .. } => {
+                let z = dec1.ws.output_row(row);
+                emit_row(scaler.as_ref(), z, reconstruction_buf(out, z.len()));
+            }
+            BatchInnerF32::NBeats { forecast, scaler, .. } => {
+                let z = forecast.row(row);
+                let buf = forecast_buf(out, z.len());
+                match scaler {
+                    Some(s) => s.inverse_tail_into(z, buf),
+                    None => widen(z, buf),
+                }
+            }
+        }
+    }
+}
+
+fn pack_row(scaler: Option<&ScalerF32>, x: &[f64], out: &mut [f32]) {
+    match scaler {
+        Some(s) => s.transform_into(x, out),
+        None => {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = v as f32;
+            }
+        }
+    }
+}
+
+fn emit_row(scaler: Option<&ScalerF32>, z: &[f32], out: &mut [f64]) {
+    match scaler {
+        Some(s) => s.inverse_into(z, out),
+        None => widen(z, out),
+    }
+}
+
+fn widen(z: &[f32], out: &mut [f64]) {
+    for (o, &v) in out.iter_mut().zip(z) {
+        *o = v as f64;
+    }
+}
+
+fn refresh_scaler<S>(snap: &mut Option<ScalerF32>, live: Option<&S>, f: impl Fn(&mut ScalerF32, &S)) {
+    match (snap, live) {
+        (None, None) => {}
+        (Some(snap), Some(live)) => f(snap, live),
+        _ => panic!("scaler presence changed across refresh"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_windows(count: usize, w: usize, phase: f64) -> Vec<FeatureVector> {
+        (0..count)
+            .map(|s| {
+                let data: Vec<f64> = (0..w)
+                    .flat_map(|i| {
+                        let t = (s + i) as f64 * 0.3 + phase;
+                        vec![t.sin(), (t * 0.5).cos() * 2.0]
+                    })
+                    .collect();
+                FeatureVector::new(data, w, 2)
+            })
+            .collect()
+    }
+
+    const REL_TOL: f64 = 1e-4;
+
+    fn assert_outputs_close(got: &ModelOutput, want: &ModelOutput, ctx: &str) {
+        match (got, want) {
+            (ModelOutput::Reconstruction(x), ModelOutput::Reconstruction(y))
+            | (ModelOutput::Forecast(x), ModelOutput::Forecast(y)) => {
+                assert_eq!(x.len(), y.len(), "{ctx}: length");
+                for (i, (p, q)) in x.iter().zip(y).enumerate() {
+                    let err = (p - q).abs();
+                    let bound = REL_TOL * q.abs().max(1.0);
+                    assert!(err <= bound, "{ctx}[{i}]: f32 {p} vs f64 {q} (err {err:.3e})");
+                }
+            }
+            other => panic!("{ctx}: variant mismatch {other:?}"),
+        }
+    }
+
+    /// Drives `probes` through the f32 batch and checks every row against
+    /// the model's own f64 `predict` within f32 tolerance.
+    fn check_f32_batch_close_to_predict(model: &mut dyn StreamModel, probes: &[FeatureVector]) {
+        let mut batch = InferBatchF32::new(model, probes.len()).expect("batchable model");
+        assert_eq!(batch.capacity(), probes.len());
+        for take in [probes.len(), 1] {
+            batch.begin(take);
+            for (row, x) in probes[..take].iter().enumerate() {
+                batch.pack(row, x);
+            }
+            batch.forward();
+            for (row, x) in probes[..take].iter().enumerate() {
+                let mut got = ModelOutput::Score(0.0);
+                batch.emit_into(row, &mut got);
+                let want = model.predict(x);
+                assert_outputs_close(&got, &want, &format!("take {take}, row {row}"));
+            }
+        }
+    }
+
+    #[test]
+    fn ae_f32_batch_close_to_predict() {
+        let train = sine_windows(40, 8, 0.0);
+        let mut ae = TwoLayerAe::new(8, 5e-3, 7);
+        ae.fit_initial(&train, 20);
+        check_f32_batch_close_to_predict(&mut ae, &train[10..16]);
+    }
+
+    #[test]
+    fn usad_f32_batch_close_to_predict() {
+        let train = sine_windows(30, 6, 0.0);
+        let mut usad = Usad::new(3, 2e-3, 5);
+        usad.fit_initial(&train, 15);
+        check_f32_batch_close_to_predict(&mut usad, &train[5..10]);
+    }
+
+    #[test]
+    fn nbeats_f32_batch_close_to_predict() {
+        let train = sine_windows(40, 8, 0.0);
+        let mut nb = NBeats::new(2, 16, 6, 2e-3, 11);
+        nb.fit_initial(&train, 15);
+        check_f32_batch_close_to_predict(&mut nb, &train[20..25]);
+        let mut nbi = NBeats::interpretable(12, 3, 2, 2e-3, 7);
+        nbi.fit_initial(&train, 10);
+        check_f32_batch_close_to_predict(&mut nbi, &train[12..17]);
+    }
+
+    #[test]
+    fn unscaled_ae_f32_batch_close_to_predict() {
+        let mut ae = TwoLayerAe::new(4, 1e-3, 1);
+        let x = FeatureVector::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let _ = ae.predict(&x); // materializes the net, no scaler
+        check_f32_batch_close_to_predict(&mut ae, std::slice::from_ref(&x));
+    }
+
+    #[test]
+    fn refresh_tracks_fine_tuning() {
+        let train = sine_windows(40, 8, 0.0);
+        let mut ae = TwoLayerAe::new(8, 5e-3, 7);
+        ae.fit_initial(&train, 10);
+        let mut batch = InferBatchF32::new(&ae, 4).unwrap();
+
+        ae.fine_tune(&train);
+        ae.fine_tune(&train[5..]);
+
+        batch.refresh(&ae);
+        let x = &train[3];
+        batch.begin(1);
+        batch.pack(0, x);
+        batch.forward();
+        let mut got = ModelOutput::Score(0.0);
+        batch.emit_into(0, &mut got);
+        let want = ae.predict(x);
+        assert_outputs_close(&got, &want, "refreshed probe");
+    }
+
+    #[test]
+    fn non_batchable_models_return_none() {
+        let ae = TwoLayerAe::new(8, 5e-3, 1); // no net yet
+        assert!(InferBatchF32::new(&ae, 4).is_none());
+        let knn = crate::KnnDistanceModel::new(3);
+        assert!(InferBatchF32::new(&knn, 4).is_none());
+    }
+}

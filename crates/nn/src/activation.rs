@@ -53,6 +53,27 @@ impl Activation {
             *x = self.apply(*x);
         }
     }
+
+    /// Applies the activation to an `f32` scalar, entirely in `f32`
+    /// arithmetic (no widen/narrow round-trip) — the inference-plan fast
+    /// path. Agrees with [`Self::apply`] to within f32 rounding; the f64
+    /// training path never calls this.
+    #[inline]
+    pub fn apply_f32(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Applies the activation to an `f32` slice in place.
+    pub fn apply_slice_f32(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.apply_f32(*x);
+        }
+    }
 }
 
 #[cfg(test)]

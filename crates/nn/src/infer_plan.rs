@@ -1,0 +1,332 @@
+//! f32 inference plan: a compiled, inference-only snapshot of an [`Mlp`].
+//!
+//! Fleet serving spends its steady state in [`Mlp::forward_batch`] — a pure
+//! read of the trained f64 weights. At serving batch sizes the kernel is
+//! memory-bound, so streaming the weights at half the bytes per element is
+//! worth ~2× bandwidth; but training must stay f64 **bit-for-bit** (every
+//! parity proof in the workspace depends on it). The resolution is a
+//! separation of state:
+//!
+//! * the [`Mlp`] keeps sole ownership of the authoritative f64 parameters
+//!   and every training/fine-tune path — untouched by this module;
+//! * an [`InferPlan`] holds a *converted copy* of the weights/biases in
+//!   `Matrix<f32>` form. It is rebuilt (`refresh`, allocation-free) only
+//!   when the owner observes a training event — the same
+//!   dirty-on-training-event hook that maintains fleet cohort membership —
+//!   and serves every inference round in between.
+//!
+//! Plan outputs agree with the f64 forward pass to f32 relative accuracy
+//! (asserted with explicit tolerances in `tests/infer_plan_tolerance.rs`);
+//! they are **never** fed back into training.
+
+use crate::activation::Activation;
+use crate::mlp::Mlp;
+use sad_tensor::Matrix;
+
+/// One dense layer's converted inference state.
+#[derive(Debug, Clone)]
+struct PlanLayer {
+    /// `out_dim x in_dim`, row-major — same layout as the f64 original.
+    weights: Matrix<f32>,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+/// f32-converted weights of one [`Mlp`], for inference only.
+///
+/// Create with [`Mlp::infer_plan`], re-sync after a training event with
+/// [`InferPlan::refresh`] (allocation-free), and run batched forwards
+/// through a reusable [`InferPlanWorkspace`].
+#[derive(Debug, Clone)]
+pub struct InferPlan {
+    layers: Vec<PlanLayer>,
+    /// Layer widths `[in, h₁, …, out]`.
+    dims: Vec<usize>,
+}
+
+impl InferPlan {
+    /// Builds a plan by converting every parameter of `mlp` to f32.
+    pub fn new(mlp: &Mlp) -> Self {
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|layer| PlanLayer {
+                weights: Matrix::from_precision(&layer.weights),
+                bias: layer.bias.iter().map(|&b| b as f32).collect(),
+                activation: layer.activation,
+            })
+            .collect();
+        let mut dims = Vec::with_capacity(mlp.layers().len() + 1);
+        dims.push(mlp.in_dim());
+        for layer in mlp.layers() {
+            dims.push(layer.out_dim());
+        }
+        Self { layers, dims }
+    }
+
+    /// Re-converts every parameter from `mlp` in place — the
+    /// training-event hook. Performs **no heap allocation**.
+    ///
+    /// # Panics
+    /// Panics if `mlp`'s architecture differs from the one the plan was
+    /// built from (a fleet cohort never changes architecture, only values).
+    pub fn refresh(&mut self, mlp: &Mlp) {
+        assert_eq!(self.layers.len(), mlp.layers().len(), "infer plan layer count mismatch");
+        for (plan, layer) in self.layers.iter_mut().zip(mlp.layers()) {
+            plan.weights.convert_from(&layer.weights);
+            assert_eq!(plan.bias.len(), layer.bias.len(), "infer plan bias width mismatch");
+            for (o, &b) in plan.bias.iter_mut().zip(&layer.bias) {
+                *o = b as f32;
+            }
+            plan.activation = layer.activation;
+        }
+    }
+
+    /// `true` if `mlp` has the geometry this plan was built from.
+    pub fn matches(&self, mlp: &Mlp) -> bool {
+        self.layers.len() == mlp.layers().len()
+            && self
+                .layers
+                .iter()
+                .zip(mlp.layers())
+                .all(|(p, l)| p.weights.shape() == l.weights.shape())
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        *self.dims.last().expect("non-empty")
+    }
+
+    /// Creates a workspace shaped for this plan with `max_batch` rows.
+    pub fn workspace(&self, max_batch: usize) -> InferPlanWorkspace {
+        InferPlanWorkspace::new(self, max_batch)
+    }
+
+    /// Batched f32 forward pass over the `ws.batch()` rows of `ws.input()`.
+    ///
+    /// Structurally identical to [`Mlp::forward_batch`] — one
+    /// `X · Wᵀ` GEMM per layer ([`Matrix::matmul_transpose_b_into`], whose
+    /// f32 instantiation runs the 8-lane pinned dot kernel) followed by an
+    /// in-place bias add and activation per row. Performs no heap
+    /// allocation.
+    pub fn forward_batch(&self, ws: &mut InferPlanWorkspace) {
+        ws.check_geometry(self);
+        let batch = ws.batch;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (done, todo) = ws.acts.split_at_mut(l);
+            let x = if l == 0 { &ws.input } else { &done[l - 1] };
+            let act = &mut todo[0];
+            x.matmul_transpose_b_into(&layer.weights, act);
+            for b in 0..batch {
+                let row = act.row_mut(b);
+                for (o, bias) in row.iter_mut().zip(&layer.bias) {
+                    *o += bias;
+                }
+                layer.activation.apply_slice_f32(row);
+            }
+        }
+    }
+}
+
+/// Reusable input/activation buffers for [`InferPlan::forward_batch`] —
+/// the f32 mirror of the inference-only [`crate::MlpWorkspace`].
+#[derive(Debug, Clone)]
+pub struct InferPlanWorkspace {
+    dims: Vec<usize>,
+    max_batch: usize,
+    batch: usize,
+    input: Matrix<f32>,
+    acts: Vec<Matrix<f32>>,
+}
+
+impl InferPlanWorkspace {
+    /// Creates a workspace for `plan` with room for `max_batch` rows.
+    pub fn new(plan: &InferPlan, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "workspace needs at least one batch row");
+        let acts = plan.dims[1..].iter().map(|&d| Matrix::zeros(max_batch, d)).collect();
+        Self {
+            input: Matrix::zeros(max_batch, plan.dims[0]),
+            acts,
+            max_batch,
+            batch: max_batch,
+            dims: plan.dims.clone(),
+        }
+    }
+
+    /// Maximum number of rows the workspace was allocated for.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Current logical batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Sets the logical batch size for the next forward pass. Within
+    /// capacity this never reallocates ([`Matrix::resize_rows`]).
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero or exceeds [`Self::max_batch`].
+    pub fn set_batch(&mut self, batch: usize) {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(
+            batch <= self.max_batch,
+            "batch {batch} exceeds workspace capacity {}",
+            self.max_batch
+        );
+        self.batch = batch;
+        self.input.resize_rows(batch);
+        for m in &mut self.acts {
+            m.resize_rows(batch);
+        }
+    }
+
+    /// Mutable input row `b`, for the caller to fill (already in f32).
+    pub fn input_row_mut(&mut self, b: usize) -> &mut [f32] {
+        self.input.row_mut(b)
+    }
+
+    /// The whole input matrix (`batch × in_dim`).
+    pub fn input(&self) -> &Matrix<f32> {
+        &self.input
+    }
+
+    /// Mutable input matrix — lets chained plans copy a previous plan's
+    /// output in wholesale (e.g. USAD's encoder → decoder handoff).
+    pub fn input_mut(&mut self) -> &mut Matrix<f32> {
+        &mut self.input
+    }
+
+    /// The network output of the last forward pass (`batch × out_dim`).
+    pub fn output(&self) -> &Matrix<f32> {
+        self.acts.last().expect("non-empty")
+    }
+
+    /// Output row `b` of the last forward pass.
+    pub fn output_row(&self, b: usize) -> &[f32] {
+        self.acts.last().expect("non-empty").row(b)
+    }
+
+    fn check_geometry(&self, plan: &InferPlan) {
+        assert_eq!(self.dims, plan.dims, "workspace/plan geometry mismatch");
+    }
+}
+
+impl Mlp {
+    /// Compiles an f32 inference plan from the current parameters (see
+    /// [`InferPlan`]).
+    pub fn infer_plan(&self) -> InferPlan {
+        InferPlan::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sad_tensor::Sgd;
+
+    fn tiny_mlp(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[6, 4, 6], &[Activation::Sigmoid, Activation::Identity], &mut rng)
+    }
+
+    fn sample(k: usize) -> Vec<f64> {
+        (0..6).map(|j| ((k * 6 + j) as f64 * 0.31).sin()).collect()
+    }
+
+    fn assert_close_to_f64(plan_out: &[f32], mlp_out: &[f64], tol: f64, ctx: &str) {
+        assert_eq!(plan_out.len(), mlp_out.len());
+        for (j, (&p, &m)) in plan_out.iter().zip(mlp_out).enumerate() {
+            let err = (p as f64 - m).abs();
+            let bound = tol * m.abs().max(1.0);
+            assert!(err <= bound, "{ctx}[{j}]: f32 {p} vs f64 {m} (err {err:.3e})");
+        }
+    }
+
+    #[test]
+    fn plan_forward_matches_f64_infer_within_tolerance() {
+        let mlp = tiny_mlp(3);
+        let plan = mlp.infer_plan();
+        assert!(plan.matches(&mlp));
+        assert_eq!(plan.in_dim(), 6);
+        assert_eq!(plan.out_dim(), 6);
+        let mut ws = plan.workspace(4);
+        ws.set_batch(4);
+        for b in 0..4 {
+            for (o, &v) in ws.input_row_mut(b).iter_mut().zip(&sample(b)) {
+                *o = v as f32;
+            }
+        }
+        plan.forward_batch(&mut ws);
+        for b in 0..4 {
+            let reference = mlp.infer(&sample(b));
+            assert_close_to_f64(ws.output_row(b), &reference, 1e-5, "row");
+        }
+    }
+
+    #[test]
+    fn refresh_tracks_training_without_allocating_new_shapes() {
+        let mut mlp = tiny_mlp(5);
+        let mut plan = mlp.infer_plan();
+        let mut opt = Sgd::new(0.05);
+        let x = sample(1);
+        for _ in 0..50 {
+            mlp.train_step_mse(&x, &x, &mut opt);
+        }
+        // Stale plan: built from the pre-training parameters.
+        let mut ws = plan.workspace(1);
+        ws.set_batch(1);
+        for (o, &v) in ws.input_row_mut(0).iter_mut().zip(&x) {
+            *o = v as f32;
+        }
+        plan.forward_batch(&mut ws);
+        let stale: Vec<f32> = ws.output_row(0).to_vec();
+
+        plan.refresh(&mlp);
+        plan.forward_batch(&mut ws);
+        let fresh = ws.output_row(0);
+        let reference = mlp.infer(&x);
+        assert_close_to_f64(fresh, &reference, 1e-5, "refreshed");
+        // Training moved the weights, so the stale outputs must differ.
+        assert!(
+            stale.iter().zip(fresh).any(|(a, b)| a != b),
+            "refresh must pick up the trained parameters",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn refresh_rejects_foreign_architecture() {
+        let mlp = tiny_mlp(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let other = Mlp::new(
+            &[6, 3, 3, 6],
+            &[Activation::Tanh, Activation::Tanh, Activation::Identity],
+            &mut rng,
+        );
+        let mut plan = mlp.infer_plan();
+        plan.refresh(&other);
+    }
+
+    #[test]
+    fn workspace_resize_stays_within_capacity() {
+        let mlp = tiny_mlp(9);
+        let plan = mlp.infer_plan();
+        let mut ws = plan.workspace(8);
+        for &b in &[8usize, 1, 5, 8] {
+            ws.set_batch(b);
+            assert_eq!(ws.batch(), b);
+            assert_eq!(ws.output().rows(), b);
+        }
+        assert_eq!(ws.max_batch(), 8);
+    }
+}

@@ -31,12 +31,14 @@
 
 pub mod activation;
 pub mod batch;
+pub mod infer_plan;
 pub mod layer;
 pub mod loss;
 pub mod mlp;
 
 pub use activation::Activation;
 pub use batch::MlpWorkspace;
+pub use infer_plan::{InferPlan, InferPlanWorkspace};
 pub use layer::{Dense, DenseGrads};
 pub use loss::{mse, mse_grad, sse, sse_grad};
 pub use mlp::{Mlp, MlpCache, MlpGrads};

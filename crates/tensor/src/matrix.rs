@@ -1,6 +1,11 @@
-//! Dense row-major matrix.
+//! Dense row-major matrix, generic over element precision.
 //!
-//! [`Matrix`] stores `rows * cols` values contiguously in row-major order.
+//! [`Matrix<T>`] stores `rows * cols` values contiguously in row-major order
+//! for `T ∈ {f32, f64}` (the sealed [`Scalar`] trait). `Matrix` with no
+//! parameter means `Matrix<f64>` — the training/evaluation precision whose
+//! kernel operation order is pinned for bitwise reproducibility (see
+//! [`crate::scalar`]); `Matrix<f32>` backs the inference-only fast path.
+//!
 //! All binary operations panic on shape mismatch — a shape mismatch in this
 //! workspace is always a programming error, never a data error, so the panic
 //! sites double as cheap internal assertions for the model implementations.
@@ -8,22 +13,24 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// A dense row-major `f64` matrix.
+use crate::scalar::{axpy_tiled, rank4_update_tiled, Scalar};
+
+/// A dense row-major matrix over precision `T` (default `f64`).
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<T: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Matrix {
+impl<T: Scalar> Matrix<T> {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
         Self { rows, cols, data: vec![value; rows * cols] }
     }
 
@@ -31,7 +38,7 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = T::ONE;
         }
         m
     }
@@ -40,7 +47,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -60,25 +67,44 @@ impl Matrix {
     /// trailing partial minibatch without touching the heap.
     pub fn resize_rows(&mut self, rows: usize) {
         self.rows = rows;
-        self.data.resize(rows * self.cols, 0.0);
+        self.data.resize(rows * self.cols, T::ZERO);
     }
 
     /// Overwrites `self` element-wise from `rhs` (no allocation).
     ///
     /// # Panics
     /// Panics if the shapes differ.
-    pub fn copy_from(&mut self, rhs: &Matrix) {
+    pub fn copy_from(&mut self, rhs: &Matrix<T>) {
         assert_eq!(self.shape(), rhs.shape(), "copy_from shape mismatch");
         self.data.copy_from_slice(&rhs.data);
     }
 
+    /// Overwrites `self` element-wise from another precision (no
+    /// allocation) — the weight-refresh kernel of the f32 inference plans.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn convert_from<U: Scalar>(&mut self, src: &Matrix<U>) {
+        assert_eq!(self.shape(), src.shape(), "convert_from shape mismatch");
+        for (o, &v) in self.data.iter_mut().zip(&src.data) {
+            *o = T::from_f64(v.to_f64());
+        }
+    }
+
+    /// Creates a matrix by converting every element of `src` to `T`.
+    pub fn from_precision<U: Scalar>(src: &Matrix<U>) -> Self {
+        let mut out = Self::zeros(src.rows, src.cols);
+        out.convert_from(src);
+        out
+    }
+
     /// Sets every element to `value` in place (no allocation).
-    pub fn fill(&mut self, value: f64) {
+    pub fn fill(&mut self, value: T) {
         self.data.fill(value);
     }
 
     /// Creates a matrix from nested row slices (convenient in tests).
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[T]]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
         let mut data = Vec::with_capacity(r * c);
@@ -90,7 +116,7 @@ impl Matrix {
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every element.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -120,32 +146,32 @@ impl Matrix {
 
     /// Underlying row-major storage.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable access to the underlying row-major storage.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Borrows row `i` as a slice.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[T] {
         debug_assert!(i < self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutably borrows row `i` as a slice.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
         debug_assert!(i < self.rows);
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Copies column `j` into a fresh vector.
-    pub fn col(&self, j: usize) -> Vec<f64> {
+    pub fn col(&self, j: usize) -> Vec<T> {
         assert!(j < self.cols);
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
@@ -158,7 +184,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
-    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+    pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         self.matmul_into(rhs, &mut out);
         out
@@ -168,27 +194,50 @@ impl Matrix {
     /// (overwriting it). The batched NN training path calls this every step
     /// with a workspace-owned output buffer.
     ///
+    /// The i-k-j sweep is register-blocked 4 deep in `k`: when four
+    /// consecutive `a` coefficients are all nonzero the four row sweeps fuse
+    /// into one [`rank4_update_tiled`] pass (the output row is loaded/stored
+    /// once per tile instead of once per `k`); otherwise each `k` falls back
+    /// to an individual [`axpy_tiled`] sweep with the historical
+    /// skip-zero-coefficient shortcut. Per output element the `+=` sequence
+    /// stays in ascending-`k` order either way, so the f64 instantiation is
+    /// bitwise-identical to the pre-tiled kernel.
+    ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows` or `out` is not `self.rows x rhs.cols`.
-    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+    pub fn matmul_into(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape mismatch");
-        out.data.fill(0.0);
+        out.data.fill(T::ZERO);
+        let n = rhs.cols;
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut k = 0;
+            while k + 4 <= self.cols {
+                let a = [arow[k], arow[k + 1], arow[k + 2], arow[k + 3]];
+                let rr = &rhs.data[k * n..(k + 4) * n];
+                if a[0] != T::ZERO && a[1] != T::ZERO && a[2] != T::ZERO && a[3] != T::ZERO {
+                    rank4_update_tiled(a, &rr[..n], &rr[n..2 * n], &rr[2 * n..3 * n], &rr[3 * n..], orow);
+                } else {
+                    for (t, &av) in a.iter().enumerate() {
+                        if av == T::ZERO {
+                            continue;
+                        }
+                        axpy_tiled(av, &rr[t * n..(t + 1) * n], orow);
+                    }
+                }
+                k += 4;
+            }
+            for (kk, &av) in arow.iter().enumerate().skip(k) {
+                if av == T::ZERO {
                     continue;
                 }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
+                axpy_tiled(av, &rhs.data[kk * n..(kk + 1) * n], orow);
             }
         }
     }
@@ -203,7 +252,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `self.rows != rhs.rows`.
-    pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
+    pub fn matmul_transpose_a(&self, rhs: &Matrix<T>) -> Matrix<T> {
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         self.matmul_transpose_a_acc(rhs, &mut out);
         out
@@ -218,11 +267,12 @@ impl Matrix {
     /// sample order. The summation order therefore matches a per-sample
     /// backward loop exactly, which is what makes the batched training path
     /// bitwise-reproducible against the per-sample path (see the parity
-    /// tests in `sad-nn`).
+    /// tests in `sad-nn`). Each sweep runs through the 8-wide
+    /// [`axpy_tiled`] tile, which preserves that order element-for-element.
     ///
     /// # Panics
     /// Panics if `self.rows != rhs.rows` or `out` is not `self.cols x rhs.cols`.
-    pub fn matmul_transpose_a_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+    pub fn matmul_transpose_a_acc(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_transpose_a shape mismatch: ({}x{})^T * {}x{}",
@@ -233,17 +283,15 @@ impl Matrix {
             (self.cols, rhs.cols),
             "matmul_transpose_a_acc output shape mismatch"
         );
+        let n = rhs.cols;
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let rrow = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+            let rrow = &rhs.data[i * n..(i + 1) * n];
             for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
+                if a == T::ZERO {
                     continue;
                 }
-                let orow = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
+                axpy_tiled(a, rrow, &mut out.data[k * n..(k + 1) * n]);
             }
         }
     }
@@ -256,7 +304,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.cols`.
-    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+    pub fn matmul_transpose_b(&self, rhs: &Matrix<T>) -> Matrix<T> {
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         self.matmul_transpose_b_into(rhs, &mut out);
         out
@@ -267,13 +315,13 @@ impl Matrix {
     ///
     /// This is the minibatch *forward* kernel: with `self = X`
     /// (`batch x in_dim`) and `rhs = W` (`out_dim x in_dim`) every output
-    /// element is `dot4(x_s, w_j)` — the identical four-accumulator dot
-    /// product [`Matrix::matvec`] uses per sample, so the batched forward is
-    /// bitwise-equal to `batch` independent matvecs.
+    /// element is [`Scalar::dot`] of `x_s` and `w_j` — the identical
+    /// pinned-lane dot product [`Matrix::matvec`] uses per sample, so the
+    /// batched forward is bitwise-equal to `batch` independent matvecs.
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.cols` or `out` is not `self.rows x rhs.rows`.
-    pub fn matmul_transpose_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+    pub fn matmul_transpose_b_into(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
@@ -285,7 +333,7 @@ impl Matrix {
             let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
             for (j, o) in orow.iter_mut().enumerate() {
                 let rrow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                *o = dot4(arow, rrow);
+                *o = T::dot(arow, rrow);
             }
         }
     }
@@ -294,9 +342,9 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `v.len() != self.cols`.
-    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+    pub fn matvec(&self, v: &[T]) -> Vec<T> {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        (0..self.rows).map(|i| dot4(self.row(i), v)).collect()
+        (0..self.rows).map(|i| T::dot(self.row(i), v)).collect()
     }
 
     /// Transposed matrix-vector product `self^T * v` without materializing
@@ -304,22 +352,20 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `v.len() != self.rows`.
-    pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
+    pub fn matvec_t(&self, v: &[T]) -> Vec<T> {
         assert_eq!(v.len(), self.rows, "matvec_t shape mismatch");
-        let mut out = vec![0.0; self.cols];
+        let mut out = vec![T::ZERO; self.cols];
         for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
+            if vi == T::ZERO {
                 continue;
             }
-            for (o, &a) in out.iter_mut().zip(self.row(i)) {
-                *o += vi * a;
-            }
+            axpy_tiled(vi, self.row(i), &mut out);
         }
         out
     }
 
     /// Returns the transpose.
-    pub fn transpose(&self) -> Matrix {
+    pub fn transpose(&self) -> Matrix<T> {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
@@ -330,49 +376,53 @@ impl Matrix {
     }
 
     /// Element-wise sum `self + rhs`.
-    pub fn add(&self, rhs: &Matrix) -> Matrix {
+    pub fn add(&self, rhs: &Matrix<T>) -> Matrix<T> {
         self.zip_with(rhs, |a, b| a + b)
     }
 
     /// Element-wise difference `self - rhs`.
-    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+    pub fn sub(&self, rhs: &Matrix<T>) -> Matrix<T> {
         self.zip_with(rhs, |a, b| a - b)
     }
 
     /// Element-wise (Hadamard) product.
-    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+    pub fn hadamard(&self, rhs: &Matrix<T>) -> Matrix<T> {
         self.zip_with(rhs, |a, b| a * b)
     }
 
     /// Scales every element by `s`, returning a new matrix.
-    pub fn scale(&self, s: f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|v| v * s).collect() }
+    pub fn scale(&self, s: T) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * s).collect(),
+        }
     }
 
     /// Scales every element by `s` in place (no allocation) — the gradient
     /// averaging kernel of the minibatch training path.
-    pub fn scale_mut(&mut self, s: f64) {
+    pub fn scale_mut(&mut self, s: T) {
         for v in &mut self.data {
             *v *= s;
         }
     }
 
     /// In-place `self += s * rhs` (the workhorse of gradient updates).
-    pub fn add_scaled(&mut self, rhs: &Matrix, s: f64) {
+    pub fn add_scaled(&mut self, rhs: &Matrix<T>, s: T) {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += s * b;
         }
     }
 
     /// Applies `f` to every element, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+    pub fn map(&self, f: impl Fn(T) -> T) -> Matrix<T> {
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Frobenius norm.
-    pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    pub fn frobenius_norm(&self) -> T {
+        self.data.iter().fold(T::ZERO, |acc, &v| acc + v * v).sqrt()
     }
 
     /// `true` if every element is finite.
@@ -380,7 +430,7 @@ impl Matrix {
         self.data.iter().all(|v| v.is_finite())
     }
 
-    fn zip_with(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    fn zip_with(&self, rhs: &Matrix<T>, f: impl Fn(T, T) -> T) -> Matrix<T> {
         assert_eq!(self.shape(), rhs.shape(), "element-wise op shape mismatch");
         Matrix {
             rows: self.rows,
@@ -390,51 +440,24 @@ impl Matrix {
     }
 }
 
-/// Dot product with four independent accumulators.
-///
-/// A single-accumulator dot product serializes every FP add behind the
-/// previous one; splitting the reduction into four interleaved lanes lets
-/// the CPU overlap the adds (and auto-vectorize), which is what makes the
-/// transpose-free [`Matrix::matmul_transpose_b`] competitive with a
-/// transpose-then-ikj baseline.
-#[inline]
-fn dot4(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    let (a_head, a_tail) = a.split_at(chunks * 4);
-    let (b_head, b_tail) = b.split_at(chunks * 4);
-    for (ca, cb) in a_head.chunks_exact(4).zip(b_head.chunks_exact(4)) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
-    }
-    let mut sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
-    for (x, y) in a_tail.iter().zip(b_tail) {
-        sum += x * y;
-    }
-    sum
-}
-
-impl Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &T {
         debug_assert!(i < self.rows && j < self.cols);
         &self.data[i * self.cols + j]
     }
 }
 
-impl IndexMut<(usize, usize)> for Matrix {
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
         debug_assert!(i < self.rows && j < self.cols);
         &mut self.data[i * self.cols + j]
     }
 }
 
-impl fmt::Debug for Matrix {
+impl<T: Scalar> fmt::Debug for Matrix<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         for i in 0..self.rows.min(8) {
@@ -453,10 +476,10 @@ mod tests {
 
     #[test]
     fn zeros_and_identity() {
-        let z = Matrix::zeros(2, 3);
+        let z = Matrix::<f64>::zeros(2, 3);
         assert_eq!(z.shape(), (2, 3));
         assert!(z.as_slice().iter().all(|&v| v == 0.0));
-        let i = Matrix::identity(3);
+        let i = Matrix::<f64>::identity(3);
         assert_eq!(i[(0, 0)], 1.0);
         assert_eq!(i[(0, 1)], 0.0);
         assert_eq!(i[(2, 2)], 1.0);
@@ -478,6 +501,23 @@ mod tests {
     }
 
     #[test]
+    fn matmul_f32_known_product() {
+        let a: Matrix<f32> = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b: Matrix<f32> = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn precision_conversion_round_trips_exact_values() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i as f64) - (j as f64) * 0.5);
+        let f: Matrix<f32> = Matrix::from_precision(&a);
+        let mut back = Matrix::zeros(3, 5);
+        back.convert_from(&f);
+        // Halves and small integers are exact in both precisions.
+        assert_eq!(back, a);
+    }
+
+    #[test]
     fn matmul_transpose_a_equals_explicit_transpose() {
         let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 - 5.0);
         let b = Matrix::from_fn(4, 2, |i, j| (i as f64) * 0.5 - (j as f64));
@@ -494,13 +534,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "matmul_transpose_a shape mismatch")]
     fn matmul_transpose_a_shape_mismatch_panics() {
-        let _ = Matrix::zeros(2, 3).matmul_transpose_a(&Matrix::zeros(3, 2));
+        let _ = Matrix::<f64>::zeros(2, 3).matmul_transpose_a(&Matrix::zeros(3, 2));
     }
 
     #[test]
     #[should_panic(expected = "matmul_transpose_b shape mismatch")]
     fn matmul_transpose_b_shape_mismatch_panics() {
-        let _ = Matrix::zeros(2, 3).matmul_transpose_b(&Matrix::zeros(3, 2));
+        let _ = Matrix::<f64>::zeros(2, 3).matmul_transpose_b(&Matrix::zeros(3, 2));
     }
 
     #[test]
@@ -595,7 +635,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "copy_from shape mismatch")]
     fn copy_from_shape_mismatch_panics() {
-        let mut b = Matrix::zeros(2, 3);
+        let mut b = Matrix::<f64>::zeros(2, 3);
         b.copy_from(&Matrix::zeros(3, 2));
     }
 
@@ -623,7 +663,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "matmul shape mismatch")]
     fn matmul_shape_mismatch_panics() {
-        let a = Matrix::zeros(2, 3);
+        let a = Matrix::<f64>::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
     }

@@ -1,59 +1,67 @@
-//! Free-standing vector kernels.
+//! Free-standing vector kernels, generic over element precision.
 //!
 //! These are the primitives behind every nonconformity measure in the
 //! framework: the cosine-similarity score (`1 - cos(x, x̂)`, paper §IV-D)
 //! reduces to [`dot`] and [`l2_norm`], and the μ/σ-Change drift detector
 //! compares mean feature vectors with [`sub`] + norms.
+//!
+//! Unlike the [`Matrix`](crate::Matrix) GEMM kernels, these reductions stay
+//! deliberately *naive* (single sequential accumulator): every f64 cosine
+//! nonconformity in the committed evaluation artifacts was produced by this
+//! exact operation order, so a laned rewrite here would silently change
+//! every anomaly score. The f32 instantiations inherit the same order.
 
-/// Dot product of two equal-length slices.
+use crate::scalar::Scalar;
+
+/// Dot product of two equal-length slices (sequential accumulation).
 ///
 /// # Panics
 /// Panics if the slices differ in length.
 #[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+pub fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    a.iter().zip(b).fold(T::ZERO, |acc, (&x, &y)| acc + x * y)
 }
 
 /// Euclidean norm.
 #[inline]
-pub fn l2_norm(a: &[f64]) -> f64 {
+pub fn l2_norm<T: Scalar>(a: &[T]) -> T {
     dot(a, a).sqrt()
 }
 
 /// Maximum absolute value (supremum norm).
 #[inline]
-pub fn linf_norm(a: &[f64]) -> f64 {
-    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+pub fn linf_norm<T: Scalar>(a: &[T]) -> T {
+    a.iter().fold(T::ZERO, |m, v| m.maxv(v.abs()))
 }
 
 /// Arithmetic mean; `0.0` for an empty slice.
 #[inline]
-pub fn mean(a: &[f64]) -> f64 {
+pub fn mean<T: Scalar>(a: &[T]) -> T {
     if a.is_empty() {
-        0.0
+        T::ZERO
     } else {
-        a.iter().sum::<f64>() / a.len() as f64
+        a.iter().fold(T::ZERO, |acc, &v| acc + v) / T::from_usize(a.len())
     }
 }
 
 /// Element-wise difference `a - b` as a new vector.
-pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+pub fn sub<T: Scalar>(a: &[T], b: &[T]) -> Vec<T> {
     assert_eq!(a.len(), b.len(), "sub length mismatch");
-    a.iter().zip(b).map(|(x, y)| x - y).collect()
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
 }
 
 /// In-place scaling `a *= s`.
-pub fn scale(a: &mut [f64], s: f64) {
+pub fn scale<T: Scalar>(a: &mut [T], s: T) {
     for v in a {
         *v *= s;
     }
 }
 
 /// In-place `y += alpha * x` (the BLAS `axpy` kernel).
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
 }
@@ -66,14 +74,14 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// rather than a NaN that would poison downstream anomaly scores. Constant
 /// all-zero channels do occur in server-metrics corpora, so this branch is
 /// exercised in practice.
-pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+pub fn cosine_similarity<T: Scalar>(a: &[T], b: &[T]) -> T {
     assert_eq!(a.len(), b.len(), "cosine length mismatch");
     let na = l2_norm(a);
     let nb = l2_norm(b);
-    if na <= f64::EPSILON || nb <= f64::EPSILON {
-        return 0.0;
+    if na <= T::EPSILON || nb <= T::EPSILON {
+        return T::ZERO;
     }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    (dot(a, b) / (na * nb)).clampv(-T::ONE, T::ONE)
 }
 
 #[cfg(test)]
@@ -83,6 +91,11 @@ mod tests {
     #[test]
     fn dot_orthogonal_is_zero() {
         assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_f32_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0f32, 0.0], &[0.0, 5.0]), 0.0);
     }
 
     #[test]
@@ -97,7 +110,7 @@ mod tests {
 
     #[test]
     fn mean_handles_empty() {
-        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean::<f64>(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
     }
 
@@ -132,6 +145,17 @@ mod tests {
     #[test]
     fn cosine_zero_vector_is_zero() {
         assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_f32_matches_f64_within_tolerance() {
+        let a = [1.0f64, 3.0, -2.0, 0.25];
+        let b = [0.5f64, -1.0, 2.0, 4.0];
+        let af: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let bf: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let wide = cosine_similarity(&a, &b);
+        let narrow = cosine_similarity(&af, &bf) as f64;
+        assert!((wide - narrow).abs() < 1e-6);
     }
 
     #[test]

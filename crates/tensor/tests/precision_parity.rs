@@ -1,0 +1,338 @@
+//! Precision parity for the generic tensor substrate.
+//!
+//! Two families of guarantees, proven against *frozen reference
+//! implementations* written in the pre-tiling per-element order:
+//!
+//! 1. **f64 is bitwise pinned.** Every tiled/blocked kernel — and, under
+//!    `--features simd`, every AVX2 variant behind it — must reproduce the
+//!    legacy scalar semantics bit for bit: the 4-lane pinned dot
+//!    reduction, ascending-`k` `+=` accumulation, and the `a == 0.0`
+//!    skip (which processes NaN but skips `-0.0`, exactly as before).
+//!    Inputs deliberately include exact zeros, negative zeros and
+//!    denormal-ish magnitudes.
+//! 2. **f32 tracks f64 within stated tolerance.** The same kernels
+//!    instantiated at `f32` agree with the f64 result to f32 relative
+//!    accuracy — the contract the inference-plan serving path relies on.
+//!
+//! Shapes sweep every tile boundary: the 4-wide k-block and 8-wide lane
+//! tiles at size−1 / size / size+1, plus degenerate 1×N and N×1.
+
+use proptest::prelude::*;
+use sad_tensor::{dot_pinned_f64, Matrix};
+
+// ---------------------------------------------------------------------------
+// Frozen legacy references (pre-tiling semantics, f64 only).
+// ---------------------------------------------------------------------------
+
+/// Legacy `matmul`: ikj loops, ascending-`k` `+=` per element, skipping
+/// `a[i][k] == 0.0` rows of the inner update.
+fn ref_matmul(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+    let (m, kk) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::<f64>::zeros(m, n);
+    for i in 0..m {
+        for k in 0..kk {
+            let av = a.row(i)[k];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out.row_mut(i)[j] += av * b.row(k)[j];
+            }
+        }
+    }
+    out
+}
+
+/// Legacy `matmul_transpose_a_acc`: `out[k][j] += a[i][k] · rhs[i][j]`,
+/// ascending `i`, skipping `a[i][k] == 0.0`.
+fn ref_matmul_transpose_a_acc(a: &Matrix<f64>, rhs: &Matrix<f64>, out: &mut Matrix<f64>) {
+    let (m, kk) = a.shape();
+    let n = rhs.cols();
+    for i in 0..m {
+        for k in 0..kk {
+            let av = a.row(i)[k];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out.row_mut(k)[j] += av * rhs.row(i)[j];
+            }
+        }
+    }
+}
+
+/// Legacy `matmul_transpose_b`: one pinned 4-lane dot per output element.
+fn ref_matmul_transpose_b(a: &Matrix<f64>, rhs: &Matrix<f64>) -> Matrix<f64> {
+    let m = a.rows();
+    let n = rhs.rows();
+    let mut out = Matrix::<f64>::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            out.row_mut(i)[j] = dot_pinned_f64(a.row(i), rhs.row(j));
+        }
+    }
+    out
+}
+
+/// Legacy `matvec`: pinned dot per row.
+fn ref_matvec(a: &Matrix<f64>, v: &[f64]) -> Vec<f64> {
+    (0..a.rows()).map(|i| dot_pinned_f64(a.row(i), v)).collect()
+}
+
+/// Legacy `matvec_t`: `out[j] += v[i] · a[i][j]`, ascending `i`, skipping
+/// `v[i] == 0.0`.
+fn ref_matvec_t(a: &Matrix<f64>, v: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.cols()];
+    for (i, &vi) in v.iter().enumerate().take(a.rows()) {
+        if vi == 0.0 {
+            continue;
+        }
+        for (o, &x) in out.iter_mut().zip(a.row(i)) {
+            *o += vi * x;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fills. The LCG stream plants exact 0.0 / -0.0 every few
+// elements so the zero-skip fast paths and all-nonzero block path both get
+// exercised at every shape.
+// ---------------------------------------------------------------------------
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn fill_value(state: &mut u64) -> f64 {
+    let r = lcg(state);
+    match r % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        _ => (r % 2000) as f64 / 211.0 - 4.5,
+    }
+}
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| fill_value(&mut state))
+}
+
+fn vector(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0xd1b54a32d192ed03).wrapping_add(3);
+    (0..len).map(|_| fill_value(&mut state)).collect()
+}
+
+fn assert_bits_eq(got: &Matrix<f64>, want: &Matrix<f64>, ctx: &str) {
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: element {i}: {g} vs {w}");
+    }
+}
+
+fn assert_vec_bits_eq(got: &[f64], want: &[f64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: element {i}: {g} vs {w}");
+    }
+}
+
+/// Dimensions straddling every tile boundary: the 4-wide k block and the
+/// 8-wide lane tile at −1/exact/+1, plus 1 (degenerate row/column shapes
+/// arise from the cross product).
+const DIMS: &[usize] = &[1, 3, 4, 5, 7, 8, 9, 16, 17];
+
+// ---------------------------------------------------------------------------
+// 1. Bitwise f64 parity, exhaustive over tile-boundary shapes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matmul_matches_legacy_bitwise_at_tile_boundaries() {
+    for &m in DIMS {
+        for &k in DIMS {
+            for &n in DIMS {
+                let a = matrix(m, k, (m * 1000 + k * 10 + n) as u64);
+                let b = matrix(k, n, (n * 777 + k) as u64);
+                let ctx = format!("matmul {m}x{k}x{n}");
+                assert_bits_eq(&a.matmul(&b), &ref_matmul(&a, &b), &ctx);
+                let mut out = Matrix::<f64>::filled(m, n, 3.25);
+                a.matmul_into(&b, &mut out);
+                assert_bits_eq(&out, &ref_matmul(&a, &b), &format!("{ctx} (into)"));
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_transpose_a_matches_legacy_bitwise_at_tile_boundaries() {
+    for &m in DIMS {
+        for &k in DIMS {
+            for &n in DIMS {
+                let a = matrix(m, k, (m * 31 + k * 7 + n) as u64);
+                let rhs = matrix(m, n, (m + n * 13) as u64);
+                let ctx = format!("matmul_transpose_a {m}x{k}x{n}");
+                let mut got = matrix(k, n, 99).scale(0.5);
+                let mut want = got.clone();
+                a.matmul_transpose_a_acc(&rhs, &mut got);
+                ref_matmul_transpose_a_acc(&a, &rhs, &mut want);
+                assert_bits_eq(&got, &want, &format!("{ctx} (acc)"));
+                let mut zero_acc = Matrix::<f64>::zeros(k, n);
+                ref_matmul_transpose_a_acc(&a, &rhs, &mut zero_acc);
+                assert_bits_eq(&a.matmul_transpose_a(&rhs), &zero_acc, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_transpose_b_matches_legacy_bitwise_at_tile_boundaries() {
+    for &m in DIMS {
+        for &k in DIMS {
+            for &n in DIMS {
+                let a = matrix(m, k, (m * 5 + k + n * 11) as u64);
+                let rhs = matrix(n, k, (k * 3 + n) as u64);
+                let ctx = format!("matmul_transpose_b {m}x{k}x{n}");
+                let want = ref_matmul_transpose_b(&a, &rhs);
+                assert_bits_eq(&a.matmul_transpose_b(&rhs), &want, &ctx);
+                let mut out = Matrix::<f64>::filled(m, n, -7.5);
+                a.matmul_transpose_b_into(&rhs, &mut out);
+                assert_bits_eq(&out, &want, &format!("{ctx} (into)"));
+            }
+        }
+    }
+}
+
+#[test]
+fn matvec_kernels_match_legacy_bitwise_at_tile_boundaries() {
+    for &m in DIMS {
+        for &n in DIMS {
+            let a = matrix(m, n, (m * 100 + n) as u64);
+            let v = vector(n, (m + n) as u64);
+            assert_vec_bits_eq(&a.matvec(&v), &ref_matvec(&a, &v), &format!("matvec {m}x{n}"));
+            let vt = vector(m, (m * 2 + n) as u64);
+            assert_vec_bits_eq(
+                &a.matvec_t(&vt),
+                &ref_matvec_t(&a, &vt),
+                &format!("matvec_t {m}x{n}"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Property tests: random shapes and values (with planted 0.0 / -0.0),
+//    f64 bitwise vs reference and f32 within tolerance of f64.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_matmul_is_bitwise_legacy(
+        m in 1usize..=12,
+        k in 1usize..=12,
+        n in 1usize..=12,
+        seed in 0u64..100000,
+    ) {
+        // `matrix` plants exact 0.0 / -0.0 in ~1/4 of entries, so the
+        // zero-skip and all-nonzero block paths both arise at random.
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed ^ 0xabcdef);
+        assert_bits_eq(&a.matmul(&b), &ref_matmul(&a, &b), "prop matmul");
+        let rhs = matrix(n, k, seed ^ 0x1234);
+        assert_bits_eq(
+            &a.matmul_transpose_b(&rhs),
+            &ref_matmul_transpose_b(&a, &rhs),
+            "prop matmul_transpose_b",
+        );
+        let lhs = matrix(m, n, seed ^ 0x77);
+        let mut got = matrix(k, n, seed ^ 0x99);
+        let mut want = got.clone();
+        a.matmul_transpose_a_acc(&lhs, &mut got);
+        ref_matmul_transpose_a_acc(&a, &lhs, &mut want);
+        assert_bits_eq(&got, &want, "prop matmul_transpose_a_acc");
+    }
+
+    /// The f32 instantiation of the serving GEMM (`matmul_transpose_b`)
+    /// agrees with f64 within f32 relative accuracy — the tolerance the
+    /// inference plans are allowed to rely on.
+    #[test]
+    fn prop_f32_gemm_within_tolerance_of_f64(
+        m in 1usize..=12,
+        k in 1usize..=12,
+        n in 1usize..=12,
+        seed in 0u64..100000,
+    ) {
+        let a64 = matrix(m, k, seed.wrapping_add(17));
+        let b64 = matrix(n, k, seed.wrapping_add(91));
+        let a32 = Matrix::<f32>::from_precision(&a64);
+        let b32 = Matrix::<f32>::from_precision(&b64);
+        let want = a64.matmul_transpose_b(&b64);
+        let got = a32.matmul_transpose_b(&b32);
+        // Row dot over ≤12 products of magnitude ≤25: f32 rounding keeps
+        // the error well under 1e-3 absolute + relative.
+        for i in 0..m {
+            for j in 0..n {
+                let w = want.row(i)[j];
+                let g = got.row(i)[j] as f64;
+                prop_assert!(
+                    (g - w).abs() <= 1e-3 * w.abs().max(1.0),
+                    "({}, {}): f32 {} vs f64 {}", i, j, g, w,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_f32_matvec_within_tolerance_of_f64(
+        m in 1usize..=16,
+        n in 1usize..=16,
+        seed in 0u64..100000,
+    ) {
+        let a64 = matrix(m, n, seed);
+        let v64 = vector(n, seed ^ 5);
+        let a32 = Matrix::<f32>::from_precision(&a64);
+        let v32: Vec<f32> = v64.iter().map(|&v| v as f32).collect();
+        for (g, w) in a32.matvec(&v32).iter().zip(a64.matvec(&v64)) {
+            prop_assert!(
+                (*g as f64 - w).abs() <= 1e-3 * w.abs().max(1.0),
+                "matvec f32 {} vs f64 {}", g, w,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Precision round-trip and f32 tile-boundary smoke.
+// ---------------------------------------------------------------------------
+
+/// f32 kernels at every tile-boundary shape produce finite outputs that
+/// match a naive f32 reference within rounding (regression net for the
+/// lane tails, independent of the f64 bitwise suite).
+#[test]
+fn f32_matmul_transpose_b_matches_naive_f32_closely() {
+    for &m in DIMS {
+        for &k in DIMS {
+            let a = Matrix::<f32>::from_precision(&matrix(m, k, (m + k * 3) as u64));
+            let rhs = Matrix::<f32>::from_precision(&matrix(m, k, (m * 7 + k) as u64));
+            let got = a.matmul_transpose_b(&rhs);
+            for i in 0..m {
+                for j in 0..m {
+                    let naive: f64 = a
+                        .row(i)
+                        .iter()
+                        .zip(rhs.row(j))
+                        .map(|(&x, &y)| x as f64 * y as f64)
+                        .sum();
+                    let g = got.row(i)[j] as f64;
+                    assert!(
+                        (g - naive).abs() <= 1e-4 * naive.abs().max(1.0),
+                        "{m}x{k} ({i},{j}): {g} vs naive {naive}",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -42,6 +42,7 @@ struct Args {
     fleet: Option<usize>,
     shards: usize,
     no_batch: bool,
+    f32_infer: bool,
 }
 
 fn score_name(score: ScoreKind) -> &'static str {
@@ -83,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         fleet: None,
         shards: 1,
         no_batch: false,
+        f32_infer: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -121,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-batch" => args.no_batch = true,
+            "--f32-infer" => args.f32_infer = true,
             "--score" => {
                 args.score = match value("--score")?.as_str() {
                     "raw" => ScoreKind::Raw,
@@ -132,7 +135,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: streamad <csv> [--algo N] [--window W] [--warmup N] \
                             [--capacity M] [--score raw|avg|al] [--threshold T] [--seed S] \
-                            [--fleet N [--shards S] [--no-batch]] [--list]"
+                            [--fleet N [--shards S] [--no-batch] [--f32-infer]] [--list]"
                     .into())
             }
             other if !other.starts_with('-') && args.path.is_none() => {
@@ -275,7 +278,7 @@ fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
 fn run_fleet(args: &Args, spec: AlgorithmSpec, series: &LabeledSeries, n: usize) -> ExitCode {
     let batching = !args.no_batch;
     eprintln!(
-        "fleet: {} x {} streams on {} ({} steps x {} channels), {} shard(s), batching {}",
+        "fleet: {} x {} streams on {} ({} steps x {} channels), {} shard(s), batching {}{}",
         spec.label(),
         n,
         series.name,
@@ -283,6 +286,7 @@ fn run_fleet(args: &Args, spec: AlgorithmSpec, series: &LabeledSeries, n: usize)
         series.channels(),
         args.shards,
         if batching { "on" } else { "off" },
+        if batching && args.f32_infer { " (f32 inference)" } else { "" },
     );
     let config = DetectorConfig {
         window: args.window,
@@ -296,8 +300,13 @@ fn run_fleet(args: &Args, spec: AlgorithmSpec, series: &LabeledSeries, n: usize)
         .with_score(args.score)
         .with_seed(args.seed);
     let detectors = (0..n).map(|_| build_detector(spec, &params)).collect();
-    let fleet_config =
-        FleetConfig { shards: args.shards, batching, parallel: false, queue_capacity: 4 };
+    let fleet_config = FleetConfig {
+        shards: args.shards,
+        batching,
+        parallel: false,
+        queue_capacity: 4,
+        f32_infer: args.f32_infer,
+    };
     let mut fleet = DetectorFleet::new(detectors, fleet_config);
 
     let mut out = Vec::new();
@@ -320,8 +329,8 @@ fn run_fleet(args: &Args, spec: AlgorithmSpec, series: &LabeledSeries, n: usize)
     let steps_per_sec = stats.steps as f64 / (total_ns.max(1) as f64 / 1e9);
     round_ns.sort_unstable();
     println!(
-        "served {} detector steps: {} batched rows in {} shared passes, {} scalar",
-        stats.steps, stats.batched_rows, stats.batches, stats.scalar_steps,
+        "served {} detector steps: {} batched rows in {} shared passes ({} f32), {} scalar",
+        stats.steps, stats.batched_rows, stats.batches, stats.f32_rows, stats.scalar_steps,
     );
     println!("cohort rebuilds: {}", stats.cohort_rebuilds);
     println!("throughput: {:.0} steps/s over {} rounds", steps_per_sec, round_ns.len());

@@ -87,6 +87,40 @@ fn fleet_mode_reports_throughput_and_batched_rows() {
 }
 
 #[test]
+fn fleet_f32_infer_serves_batched_rows_through_snapshots() {
+    let csv = write_csv("f32infer", 220);
+    let out = streamad()
+        .arg(&csv)
+        .args(["--algo", "6", "--window", "6", "--warmup", "80", "--capacity", "16"])
+        .args(["--fleet", "6", "--f32-infer"])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&csv).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("batched rows"))
+        .unwrap_or_else(|| panic!("serving breakdown present: {stdout}"));
+    // "… N batched rows in P shared passes (F f32), S scalar" — every
+    // batched row must have gone through an f32 snapshot.
+    let batched: usize = line
+        .split(" batched rows")
+        .next()
+        .and_then(|s| s.rsplit(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("batched row count parses: {line}"));
+    let f32_rows: usize = line
+        .split(" f32)")
+        .next()
+        .and_then(|s| s.rsplit('(').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("f32 row count parses: {line}"));
+    assert!(batched > 0, "identical streams must batch: {line}");
+    assert_eq!(f32_rows, batched, "--f32-infer serves every batched row as f32: {line}");
+}
+
+#[test]
 fn fleet_no_batch_serves_scalar_only() {
     let csv = write_csv("nobatch", 160);
     let out = streamad()
@@ -99,7 +133,7 @@ fn fleet_no_batch_serves_scalar_only() {
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(
-        stdout.contains("0 batched rows in 0 shared passes, 480 scalar"),
+        stdout.contains("0 batched rows in 0 shared passes (0 f32), 480 scalar"),
         "batching off serves everything scalar: {stdout}",
     );
 }
