@@ -130,6 +130,47 @@ fn bench_tiled_vs_legacy(c: &mut Criterion) {
     group.finish();
 }
 
+/// Register-blocked panel kernel vs the per-element pinned dot loop on the
+/// AE serving GEMM (`X(B×180) · Wᵀ(45×180)`) at serving batch sizes. The
+/// dot loop is the pre-micro-kernel serving path; under `simd` the
+/// dispatched `matmul_transpose_b_into` runs the 2×4 AVX2 panel instead
+/// (bitwise-identical output, asserted in `precision_parity`).
+fn bench_gemm_microkernel(c: &mut Criterion) {
+    fn dot_loop_gemm<T: sad_tensor::Scalar>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+        for i in 0..a.rows() {
+            let ar = a.row(i);
+            let or = out.row_mut(i);
+            for (j, o) in or.iter_mut().enumerate().take(b.rows()) {
+                *o = T::dot(ar, b.row(j));
+            }
+        }
+    }
+    let mut group = c.benchmark_group("gemm_microkernel");
+    let (n, k) = (45usize, 180usize);
+    for &batch in &[1usize, 8, 16, 64] {
+        let id = format!("b{batch}_{k}x{n}");
+        let a64 = dense(batch, k, 12);
+        let b64 = dense(n, k, 13);
+        let mut out64 = Matrix::<f64>::zeros(batch, n);
+        group.bench_with_input(BenchmarkId::new("f64_dot_loop", &id), &batch, |bch, _| {
+            bch.iter(|| dot_loop_gemm(black_box(&a64), black_box(&b64), &mut out64))
+        });
+        group.bench_with_input(BenchmarkId::new("f64_dispatched", &id), &batch, |bch, _| {
+            bch.iter(|| black_box(&a64).matmul_transpose_b_into(black_box(&b64), &mut out64))
+        });
+        let a32 = dense_f32(batch, k, 12);
+        let b32 = dense_f32(n, k, 13);
+        let mut out32 = Matrix::<f32>::zeros(batch, n);
+        group.bench_with_input(BenchmarkId::new("f32_dot_loop", &id), &batch, |bch, _| {
+            bch.iter(|| dot_loop_gemm(black_box(&a32), black_box(&b32), &mut out32))
+        });
+        group.bench_with_input(BenchmarkId::new("f32_dispatched", &id), &batch, |bch, _| {
+            bch.iter(|| black_box(&a32).matmul_transpose_b_into(black_box(&b32), &mut out32))
+        });
+    }
+    group.finish();
+}
+
 fn bench_least_squares(c: &mut Criterion) {
     let mut group = c.benchmark_group("least_squares");
     // The VAR(3) refit shape on a 9-channel corpus: K = 1 + 3*9 = 28.
@@ -148,6 +189,7 @@ criterion_group!(
     bench_transpose_b,
     bench_precision,
     bench_tiled_vs_legacy,
+    bench_gemm_microkernel,
     bench_least_squares
 );
 criterion_main!(benches);

@@ -1,26 +1,31 @@
 //! Roofline-style kernel measurement for the dense GEMM behind fleet
-//! serving (§E12 of EXPERIMENTS.md).
+//! serving plus the kNN snapshot sweep (§E12/§E13 of EXPERIMENTS.md).
 //!
-//! Three kernels per shape, all computing `A · Bᵀ` (the serving GEMM —
+//! Five kernels per shape, all computing `A · Bᵀ` (the serving GEMM —
 //! one `X · Wᵀ` per NN layer):
 //!
 //! * `f64_legacy` — naive single-accumulator dot per output element, the
 //!   pre-tiling reference;
-//! * `f64_tiled`  — [`Matrix::<f64>::matmul_transpose_b_into`], the 4-lane
-//!   pinned-reduce kernel (bitwise-parity mode);
-//! * `f32_tiled`  — [`Matrix::<f32>::matmul_transpose_b_into`], the 8-lane
-//!   kernel at half the bytes per element (inference-plan mode).
+//! * `f64_tiled`  — one pinned 4-lane [`Scalar::dot`] per output element
+//!   (the pre-micro-kernel serving GEMM; AVX2 dot under `simd`);
+//! * `f64_micro`  — [`Matrix::<f64>::matmul_transpose_b_into`], which under
+//!   `simd` dispatches to the register-blocked 2×4 AVX2 panel kernel
+//!   (bitwise-identical to `f64_tiled`, proven in `precision_parity`);
+//! * `f32_tiled` / `f32_micro` — the same pair at 8 lanes and half the
+//!   bytes per element (inference-plan mode).
 //!
 //! For each we report GFLOP/s (`2·m·n·k / t`) and the streamed-footprint
-//! bandwidth GB/s (`(m·k + k·n + m·n) · sizeof(T) / t` — the working set
-//! touched per product, which at serving shapes fits cache and bounds the
-//! kernel). Shapes are the ones the fleet actually runs: AE layer GEMMs at
-//! serving batch sizes (rows = cohort batch, k = w·N input dim, n = hidden)
-//! plus the square 64×64 layer shape from the tensor benches.
+//! bandwidth GB/s (`(m·k + k·n + m·n) · sizeof(T) / t`). Shapes are the AE
+//! layer GEMM (k = w·N = 180 input dim, n = 45 hidden) at serving batch
+//! sizes B ∈ {1, 8, 16, 64} plus the square/tall shapes from the tensor
+//! benches.
 //!
-//! The binary asserts the PR's acceptance bar — f32 tiled must reach ≥1.5×
-//! the scalar-f64 legacy GFLOP/s on at least one shape — so the committed
-//! artifact can only be regenerated while the claim holds.
+//! The binary asserts the acceptance bars — f32 must reach ≥1.5× the
+//! scalar-f64 legacy GFLOP/s on at least one shape, and the f32
+//! register-blocked panel must clear ≥1.5× the f32 tiled dot-loop at
+//! B = 16 — so the committed artifact can only be regenerated while the
+//! claims hold. It also times the kNN k-th-neighbour query per-point vs
+//! over the packed snapshot (`KnnDistanceModel`), the §E13 table source.
 //!
 //! ```sh
 //! cargo run --release --bin tensor_kernels            # quick (default)
@@ -29,7 +34,9 @@
 
 use std::time::Instant;
 
-use sad_tensor::Matrix;
+use sad_core::{FeatureVector, StreamModel};
+use sad_models::KnnDistanceModel;
+use sad_tensor::{Matrix, Scalar};
 
 /// Deterministic dense fill, same LCG as the criterion benches.
 fn dense(rows: usize, cols: usize, salt: u64) -> Matrix<f64> {
@@ -55,6 +62,21 @@ fn legacy_gemm_tb(a: &Matrix<f64>, b: &Matrix<f64>, out: &mut Matrix<f64>) {
                 acc += ar[k] * br[k];
             }
             *o = acc;
+        }
+    }
+}
+
+/// One pinned-lane `Scalar::dot` per output element — the serving GEMM as
+/// shipped before the register-blocked panel kernel (what
+/// `matmul_transpose_b_into` compiled to in the previous release).
+fn tiled_gemm_tb<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+    let m = a.rows();
+    let n = b.rows();
+    for i in 0..m {
+        let ar = a.row(i);
+        let or = out.row_mut(i);
+        for (j, o) in or.iter_mut().enumerate().take(n) {
+            *o = T::dot(ar, b.row(j));
         }
     }
 }
@@ -89,14 +111,57 @@ fn result(kernel: &'static str, secs: f64, m: usize, n: usize, k: usize, elem: u
     KernelResult { kernel, secs, gflops: flops / secs / 1e9, gbps: bytes / secs / 1e9 }
 }
 
+/// Times the kNN k-th-neighbour query per-point (frozen legacy path) vs
+/// over the packed transposed snapshot, asserting the answers stay
+/// bitwise-equal while timing. Returns `(t_per_point, t_snapshot)`.
+fn time_knn_sweep(reps: usize, m: usize, dim: usize, k: usize) -> (f64, f64) {
+    let mut state = 0xfeed_beefu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let refs: Vec<FeatureVector> =
+        (0..m).map(|_| FeatureVector::new((0..dim).map(|_| next()).collect(), dim, 1)).collect();
+    let queries: Vec<FeatureVector> =
+        (0..32).map(|_| FeatureVector::new((0..dim).map(|_| next()).collect(), dim, 1)).collect();
+    let mut model = KnnDistanceModel::new(k);
+    model.fine_tune(&refs);
+    for q in &queries {
+        assert_eq!(
+            model.snapshot_kth_distance(k, q).map(f64::to_bits),
+            KnnDistanceModel::kth_distance_of(k, q, &refs).map(f64::to_bits),
+            "snapshot sweep diverged from per-point reference",
+        );
+    }
+    let iters = (20_000 / m).clamp(2, 400);
+    let t_per_point = best_time(reps, iters, || {
+        for q in &queries {
+            std::hint::black_box(KnnDistanceModel::kth_distance_of(
+                k,
+                std::hint::black_box(q),
+                &refs,
+            ));
+        }
+    });
+    let t_snapshot = best_time(reps, iters, || {
+        for q in &queries {
+            std::hint::black_box(model.snapshot_kth_distance(k, std::hint::black_box(q)));
+        }
+    });
+    (t_per_point / queries.len() as f64, t_snapshot / queries.len() as f64)
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (reps, target_iters_ns) = if full { (9, 80_000_000u64) } else { (5, 25_000_000u64) };
 
     // (label, m, n, k): out = A(m×k) · Bᵀ(n×k).  The AE serving shapes use
-    // the Table III quick profile dims (w=20, N=9 → in 180, hidden 45).
+    // the Table III quick profile dims (w=20, N=9 → in 180, hidden 45) at
+    // serving batch sizes B ∈ {1, 8, 16, 64}.
     let shapes: &[(&str, usize, usize, usize)] = &[
+        ("ae_layer_batch1_180x45", 1, 45, 180),
         ("ae_layer_batch8_180x45", 8, 45, 180),
+        ("ae_layer_batch16_180x45", 16, 45, 180),
         ("ae_layer_batch64_180x45", 64, 45, 180),
         ("square_64x64x64", 64, 64, 64),
         ("tall_256x64x64", 256, 64, 64),
@@ -108,6 +173,7 @@ fn main() {
     );
     let mut entries = Vec::new();
     let mut best_f32_vs_legacy = 0.0f64;
+    let mut f32_micro_vs_tiled_b16 = 0.0f64;
     for &(label, m, n, k) in shapes {
         let a64 = dense(m, k, 1);
         let b64 = dense(n, k, 2);
@@ -124,21 +190,34 @@ fn main() {
         let t_legacy = best_time(reps, iters, || {
             legacy_gemm_tb(std::hint::black_box(&a64), std::hint::black_box(&b64), &mut out64)
         });
-        let t_f64 = best_time(reps, iters, || {
+        let t_f64_tiled = best_time(reps, iters, || {
+            tiled_gemm_tb(std::hint::black_box(&a64), std::hint::black_box(&b64), &mut out64)
+        });
+        let t_f64_micro = best_time(reps, iters, || {
             std::hint::black_box(&a64).matmul_transpose_b_into(std::hint::black_box(&b64), &mut out64)
         });
-        let t_f32 = best_time(reps, iters, || {
+        let t_f32_tiled = best_time(reps, iters, || {
+            tiled_gemm_tb(std::hint::black_box(&a32), std::hint::black_box(&b32), &mut out32)
+        });
+        let t_f32_micro = best_time(reps, iters, || {
             std::hint::black_box(&a32).matmul_transpose_b_into(std::hint::black_box(&b32), &mut out32)
         });
 
         let rows = [
             result("f64_legacy", t_legacy, m, n, k, 8),
-            result("f64_tiled", t_f64, m, n, k, 8),
-            result("f32_tiled", t_f32, m, n, k, 4),
+            result("f64_tiled", t_f64_tiled, m, n, k, 8),
+            result("f64_micro", t_f64_micro, m, n, k, 8),
+            result("f32_tiled", t_f32_tiled, m, n, k, 4),
+            result("f32_micro", t_f32_micro, m, n, k, 4),
         ];
-        let f32_vs_legacy = rows[0].secs / rows[2].secs;
-        let f64_vs_legacy = rows[0].secs / rows[1].secs;
-        best_f32_vs_legacy = best_f32_vs_legacy.max(f32_vs_legacy);
+        let f64_tiled_vs_legacy = t_legacy / t_f64_tiled;
+        let f64_micro_vs_tiled = t_f64_tiled / t_f64_micro;
+        let f32_tiled_vs_legacy = t_legacy / t_f32_tiled;
+        let f32_micro_vs_tiled = t_f32_tiled / t_f32_micro;
+        best_f32_vs_legacy = best_f32_vs_legacy.max(t_legacy / t_f32_micro);
+        if m == 16 && k == 180 {
+            f32_micro_vs_tiled_b16 = f32_micro_vs_tiled;
+        }
         println!("  {label} (m={m} n={n} k={k}, {iters} iters):");
         for r in &rows {
             println!(
@@ -149,7 +228,10 @@ fn main() {
                 r.gbps,
             );
         }
-        println!("    speedup vs legacy: f64 tiled {f64_vs_legacy:.2}x, f32 tiled {f32_vs_legacy:.2}x");
+        println!(
+            "    speedup: f64 tiled/legacy {f64_tiled_vs_legacy:.2}x, f64 micro/tiled {f64_micro_vs_tiled:.2}x, \
+             f32 tiled/legacy {f32_tiled_vs_legacy:.2}x, f32 micro/tiled {f32_micro_vs_tiled:.2}x",
+        );
 
         let kernel_json: Vec<String> = rows
             .iter()
@@ -165,26 +247,57 @@ fn main() {
             .collect();
         entries.push(format!(
             "    {{\"shape\": \"{label}\", \"m\": {m}, \"n\": {n}, \"k\": {k}, \"iters\": {iters},\n      \
-             \"speedup_f64_tiled_vs_legacy\": {f64_vs_legacy:.3},\n      \
-             \"speedup_f32_tiled_vs_legacy\": {f32_vs_legacy:.3},\n      \"kernels\": [\n{}\n      ]}}",
+             \"speedup_f64_tiled_vs_legacy\": {f64_tiled_vs_legacy:.3},\n      \
+             \"speedup_f64_micro_vs_tiled\": {f64_micro_vs_tiled:.3},\n      \
+             \"speedup_f32_tiled_vs_legacy\": {f32_tiled_vs_legacy:.3},\n      \
+             \"speedup_f32_micro_vs_tiled\": {f32_micro_vs_tiled:.3},\n      \"kernels\": [\n{}\n      ]}}",
             kernel_json.join(",\n"),
         ));
     }
 
-    // Acceptance bar from the PR: the committed artifact must witness the
-    // f32 tiled kernel at ≥1.5× scalar f64 on at least one hot shape.
+    // Acceptance bars from the PRs: the committed artifact must witness
+    // the f32 serving GEMM at ≥1.5× scalar f64 on at least one hot shape,
+    // and the register-blocked f32 panel at ≥1.5× the f32 dot-loop at the
+    // B = 16 serving batch. The portable leg (no `simd`) compiles micro ==
+    // tiled, so the second bar is only meaningful — and only enforced —
+    // with the dispatch actually live.
     assert!(
         best_f32_vs_legacy >= 1.5,
-        "f32 tiled must reach 1.5x scalar f64 on some shape (best {best_f32_vs_legacy:.2}x)",
+        "f32 must reach 1.5x scalar f64 on some shape (best {best_f32_vs_legacy:.2}x)",
+    );
+    let simd = sad_tensor::simd_enabled();
+    if simd {
+        assert!(
+            f32_micro_vs_tiled_b16 >= 1.5,
+            "f32 micro-kernel must reach 1.5x tiled f32 at B=16 (got {f32_micro_vs_tiled_b16:.2}x)",
+        );
+    }
+
+    // kNN offline scoring: per-point k-th-neighbour query vs the packed
+    // snapshot sweep, at the Table III quick-profile feature dim (w·N =
+    // 180) and a post-warm-up reference set size.
+    let (knn_m, knn_dim, knn_k) = (200usize, 180usize, 5usize);
+    let (t_per_point, t_snapshot) = time_knn_sweep(reps, knn_m, knn_dim, knn_k);
+    let knn_speedup = t_per_point / t_snapshot;
+    println!(
+        "  knn_kth_distance (m={knn_m} dim={knn_dim} k={knn_k}):\n    \
+         per_point  {:>9.2} us/query\n    snapshot   {:>9.2} us/query\n    \
+         speedup: {knn_speedup:.2}x (bitwise-equal answers)",
+        t_per_point * 1e6,
+        t_snapshot * 1e6,
     );
 
-    let simd = sad_tensor::simd_enabled();
     let json = format!(
         "{{\n  \"harness\": \"tensor_kernels\",\n  \"profile\": \"{}\",\n  \
          \"gemm\": \"A(mxk) . B^T(nxk)\",\n  \"simd_feature\": {simd},\n  \
-         \"best_f32_tiled_vs_legacy\": {best_f32_vs_legacy:.3},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+         \"best_f32_vs_legacy\": {best_f32_vs_legacy:.3},\n  \
+         \"f32_micro_vs_tiled_b16\": {f32_micro_vs_tiled_b16:.3},\n  \"shapes\": [\n{}\n  ],\n  \
+         \"knn_sweep\": {{\"m\": {knn_m}, \"dim\": {knn_dim}, \"k\": {knn_k}, \
+         \"per_point_us\": {:.3}, \"snapshot_us\": {:.3}, \"speedup\": {knn_speedup:.3}}}\n}}\n",
         if full { "full" } else { "quick" },
         entries.join(",\n"),
+        t_per_point * 1e6,
+        t_snapshot * 1e6,
     );
     match std::fs::create_dir_all("bench_output")
         .and_then(|()| std::fs::write("bench_output/tensor_kernels.json", &json))

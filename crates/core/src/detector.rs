@@ -312,6 +312,26 @@ impl Detector {
     /// `offset + i`; `offset` is the first post-warm-up step (or
     /// `series.len()` if warm-up never completed).
     pub fn run_fanout(&mut self, series: &[Vec<f64>], bank: &mut ScorerBank) -> FanoutRun {
+        // When the detector trajectory is provably scorer-independent, run
+        // the (expensive) detector pass alone, packing the nonconformity
+        // stream into one contiguous trace, then let each bank scorer
+        // consume the whole trace scorer-major
+        // ([`ScorerBank::replay_packed`]). The bank never feeds back into
+        // `advance`, so the trace — and therefore every scorer's output
+        // sequence — is bit-for-bit the interleaved path's; the fan-out
+        // parity suite pins this. ARES-style feedback strategies keep the
+        // per-step teeing (the driver trajectory is the reference there).
+        if self.scorer_feedback_free() && !bank.is_empty() {
+            let mut trace = Vec::with_capacity(self.expected_outputs(series.len()));
+            let mut offset = series.len();
+            for s in series {
+                if let Some(out) = self.step(s) {
+                    offset = offset.min(out.t);
+                    trace.push(out.nonconformity);
+                }
+            }
+            return FanoutRun { traces: bank.replay_packed(&trace), offset };
+        }
         let expected = self.expected_outputs(series.len());
         let mut traces: Vec<Vec<f64>> =
             (0..bank.len()).map(|_| Vec::with_capacity(expected)).collect();

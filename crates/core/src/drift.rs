@@ -554,7 +554,7 @@ mod tests {
                 let mut expected: Vec<f64> = strat
                     .training_set()
                     .iter()
-                    .flat_map(|fv| fv.channel(j))
+                    .flat_map(|fv| fv.channel_iter(j))
                     .collect();
                 expected.sort_by(f64::total_cmp);
                 assert_eq!(

@@ -64,9 +64,19 @@ impl FeatureVector {
     }
 
     /// All `w` values of channel `j`, oldest first.
+    ///
+    /// Allocates; per-step hot paths should walk [`Self::channel_iter`]
+    /// (or extend a reusable scratch buffer from it) instead.
     pub fn channel(&self, j: usize) -> Vec<f64> {
+        self.channel_iter(j).collect()
+    }
+
+    /// Strided iterator over the `w` values of channel `j`, oldest first —
+    /// the allocation-free counterpart of [`Self::channel`].
+    #[inline]
+    pub fn channel_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(j < self.n, "channel index out of range");
-        (0..self.w).map(|i| self.data[i * self.n + j]).collect()
+        self.data.iter().skip(j).step_by(self.n).copied()
     }
 
     /// `true` if every element is finite.

@@ -77,6 +77,24 @@ impl ScorerBank {
         out.extend(self.scorers.iter_mut().map(|s| s.update(a_t)));
     }
 
+    /// Replays a packed nonconformity trace **scorer-major**: each scorer
+    /// consumes the entire contiguous trace before the next one starts,
+    /// returning one full score trace per scorer (bank order).
+    ///
+    /// Scorers are independent state machines over the `a_t` sequence, so
+    /// scorer-major replay produces bit-for-bit the traces the per-step
+    /// interleaved teeing ([`Self::update_into`] once per step) would —
+    /// while each scorer's state stays hot in cache and the trace is read
+    /// as a contiguous streaming scan instead of being re-touched `len`
+    /// times per step. This is the offline counterpart of the packed
+    /// snapshot idiom: build the contiguous trace once, then sweep it.
+    pub fn replay_packed(&mut self, trace: &[f64]) -> Vec<Vec<f64>> {
+        self.scorers
+            .iter_mut()
+            .map(|s| trace.iter().map(|&a| s.update(a)).collect())
+            .collect()
+    }
+
     /// Resets every scorer in the bank.
     pub fn reset(&mut self) {
         for s in &mut self.scorers {

@@ -49,6 +49,14 @@ pub struct OnlineArima {
     gamma: Vec<f64>,
     /// Binomial coefficients `(−1)ⁱ C(d,i)` for the differencing operator.
     diff_coeffs: Vec<f64>,
+    /// Scratch: one channel's window, filled from the strided
+    /// `FeatureVector::channel_iter` (replaces a per-channel `channel()`
+    /// allocation on every predict / fine-tune step).
+    chan: Vec<f64>,
+    /// Scratch: lag regressor vector `z`.
+    z: Vec<f64>,
+    /// Scratch: ONS gradient vector.
+    grad: Vec<f64>,
 }
 
 impl OnlineArima {
@@ -62,7 +70,15 @@ impl OnlineArima {
         let diff_coeffs = (0..=d)
             .map(|i| if i % 2 == 0 { binomial(d, i) } else { -binomial(d, i) })
             .collect();
-        Self { d, update: ArimaUpdate::Sgd { lr }, gamma: Vec::new(), diff_coeffs }
+        Self {
+            d,
+            update: ArimaUpdate::Sgd { lr },
+            gamma: Vec::new(),
+            diff_coeffs,
+            chan: Vec::new(),
+            z: Vec::new(),
+            grad: Vec::new(),
+        }
     }
 
     /// Creates the ARIMA-ONS variant (Liu et al. 2016, Algorithm 1):
@@ -71,7 +87,15 @@ impl OnlineArima {
         let diff_coeffs = (0..=d)
             .map(|i| if i % 2 == 0 { binomial(d, i) } else { -binomial(d, i) })
             .collect();
-        Self { d, update: ArimaUpdate::Ons(OnlineNewtonStep::new(eta, eps)), gamma: Vec::new(), diff_coeffs }
+        Self {
+            d,
+            update: ArimaUpdate::Ons(OnlineNewtonStep::new(eta, eps)),
+            gamma: Vec::new(),
+            diff_coeffs,
+            chan: Vec::new(),
+            z: Vec::new(),
+            grad: Vec::new(),
+        }
     }
 
     /// Current coefficient vector `γ` (empty before the first fit).
@@ -111,46 +135,63 @@ impl OnlineArima {
         self.diff_coeffs.iter().enumerate().map(|(i, &c)| c * series[t - i]).sum()
     }
 
-    /// Prediction of `series[t]` from `series[..t]` together with the lag
-    /// regressor vector `z` (needed for the gradient).
+    /// Prediction of `series[t]` from `series[..t]`, writing the lag
+    /// regressor vector `z` (needed for the gradient) into the supplied
+    /// scratch buffer. Arithmetic order is identical to the historical
+    /// allocating path, so trained trajectories are bitwise unchanged.
     ///
     /// `series` holds one channel's window values; `t = series.len() − 1`.
-    fn predict_channel(&self, series: &[f64]) -> (f64, Vec<f64>) {
+    fn predict_into(&self, series: &[f64], z: &mut Vec<f64>) -> f64 {
         let t = series.len() - 1;
         let lags = self.gamma.len();
         // Regressors z_i = ∇ᵈ s_{t−i}, i = 1..=L.
-        let z: Vec<f64> = (1..=lags).map(|i| self.diff(series, t - i)).collect();
-        let ar_term: f64 = self.gamma.iter().zip(&z).map(|(g, zi)| g * zi).sum();
+        z.clear();
+        z.extend((1..=lags).map(|i| self.diff(series, t - i)));
+        let ar_term: f64 = self.gamma.iter().zip(z.iter()).map(|(g, zi)| g * zi).sum();
         // Integration term Σ_{i=0..d−1} ∇ⁱ s_{t−1}.
         let integration: f64 = (0..self.d).map(|i| diff_at(series, t - 1, i)).sum();
-        (ar_term + integration, z)
+        ar_term + integration
+    }
+
+    /// Allocating convenience wrapper around [`Self::predict_into`] — kept
+    /// for unit tests and external inspection of `z`.
+    #[allow(dead_code)]
+    fn predict_channel(&self, series: &[f64]) -> (f64, Vec<f64>) {
+        let mut z = Vec::new();
+        let pred = self.predict_into(series, &mut z);
+        (pred, z)
     }
 
     /// One update step on one channel window: squared loss on the final
     /// value, gradient `2(s̃ − s) z` (norm-clipped), applied by the
-    /// configured rule (OGD or ONS).
+    /// configured rule (OGD or ONS). Runs entirely on the reusable `z` /
+    /// `grad` scratch buffers.
     fn train_channel(&mut self, series: &[f64]) {
-        let (pred, z) = self.predict_channel(series);
+        let mut z = std::mem::take(&mut self.z);
+        let pred = self.predict_into(series, &mut z);
         let err = pred - series[series.len() - 1];
-        if !err.is_finite() {
-            return;
-        }
-        let mut scale = 2.0 * err;
-        let gnorm = scale.abs() * z.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if gnorm > Self::GRAD_CLIP {
-            scale *= Self::GRAD_CLIP / gnorm;
-        }
-        match &mut self.update {
-            ArimaUpdate::Sgd { lr } => {
-                for (g, zi) in self.gamma.iter_mut().zip(&z) {
-                    *g -= *lr * scale * zi;
+        if err.is_finite() {
+            let mut scale = 2.0 * err;
+            let gnorm = scale.abs() * z.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if gnorm > Self::GRAD_CLIP {
+                scale *= Self::GRAD_CLIP / gnorm;
+            }
+            match &mut self.update {
+                ArimaUpdate::Sgd { lr } => {
+                    for (g, zi) in self.gamma.iter_mut().zip(&z) {
+                        *g -= *lr * scale * zi;
+                    }
+                }
+                ArimaUpdate::Ons(opt) => {
+                    let mut grad = std::mem::take(&mut self.grad);
+                    grad.clear();
+                    grad.extend(z.iter().map(|zi| scale * zi));
+                    opt.step(&mut self.gamma, &grad);
+                    self.grad = grad;
                 }
             }
-            ArimaUpdate::Ons(opt) => {
-                let grad: Vec<f64> = z.iter().map(|zi| scale * zi).collect();
-                opt.step(&mut self.gamma, &grad);
-            }
         }
+        self.z = z;
     }
 }
 
@@ -161,8 +202,17 @@ impl StreamModel for OnlineArima {
 
     fn predict(&mut self, x: &FeatureVector) -> ModelOutput {
         self.ensure_gamma(x.w());
-        let forecast: Vec<f64> =
-            (0..x.n()).map(|j| self.predict_channel(&x.channel(j)).0).collect();
+        let mut chan = std::mem::take(&mut self.chan);
+        let mut z = std::mem::take(&mut self.z);
+        let forecast: Vec<f64> = (0..x.n())
+            .map(|j| {
+                chan.clear();
+                chan.extend(x.channel_iter(j));
+                self.predict_into(&chan, &mut z)
+            })
+            .collect();
+        self.chan = chan;
+        self.z = z;
         ModelOutput::Forecast(forecast)
     }
 
@@ -181,11 +231,15 @@ impl StreamModel for OnlineArima {
             return;
         }
         self.ensure_gamma(train[0].w());
+        let mut chan = std::mem::take(&mut self.chan);
         for x in train {
             for j in 0..x.n() {
-                self.train_channel(&x.channel(j));
+                chan.clear();
+                chan.extend(x.channel_iter(j));
+                self.train_channel(&chan);
             }
         }
+        self.chan = chan;
     }
 
     fn clone_box(&self) -> Box<dyn StreamModel> {

@@ -13,6 +13,7 @@
 //! DESIGN.md; not part of the paper's Table I grid.
 
 use sad_core::{FeatureVector, ModelOutput, StreamModel};
+use sad_tensor::{Matrix, Scalar};
 
 /// Distance-to-kth-neighbour scoring over the live training set.
 #[derive(Debug, Clone)]
@@ -22,13 +23,27 @@ pub struct KnnDistanceModel {
     /// a "typical" neighbour distance maps to a score of 0.5.
     scale: f64,
     reference: Vec<FeatureVector>,
+    /// The reference set packed transposed (`dim × m`, feature `j` of
+    /// reference `c` at `(j, c)`) so the per-query sweep walks contiguous
+    /// rows with `Scalar::sq_dist_accum`. Rebuilt only on training events
+    /// (`fit_initial` / `fine_tune`), never per query.
+    snapshot: Matrix<f64>,
+    /// Per-query squared-distance scratch — reused across calls so the
+    /// steady-state predict path stays allocation-free.
+    dists: Vec<f64>,
 }
 
 impl KnnDistanceModel {
     /// Creates a kNN model with neighbourhood size `k`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, scale: 1.0, reference: Vec::new() }
+        Self {
+            k,
+            scale: 1.0,
+            reference: Vec::new(),
+            snapshot: Matrix::zeros(0, 0),
+            dists: Vec::new(),
+        }
     }
 
     /// Neighbourhood size.
@@ -52,7 +67,12 @@ impl KnnDistanceModel {
     /// the previous full `O(m log m)` sort; only the `k`-th order
     /// statistic is needed, and selection returns the identical value
     /// (`total_cmp` equality is bit equality).
-    fn kth_distance_of(k: usize, x: &FeatureVector, set: &[FeatureVector]) -> Option<f64> {
+    ///
+    /// This is the **frozen legacy reference** for the snapshot sweep:
+    /// `snapshot_kth_distance` must stay bitwise-equal to it (asserted in
+    /// `tests/knn_snapshot_parity.rs`). Public for those parity tests and
+    /// the `knn_sweep` bench; the hot paths route through the snapshot.
+    pub fn kth_distance_of(k: usize, x: &FeatureVector, set: &[FeatureVector]) -> Option<f64> {
         if set.is_empty() {
             return None;
         }
@@ -62,10 +82,38 @@ impl KnnDistanceModel {
         Some(*kth)
     }
 
-    /// Distance from `x` to its k-th nearest neighbour in `set` (skipping
-    /// exact duplicates of `x` itself).
-    fn kth_distance(&self, x: &FeatureVector, set: &[FeatureVector]) -> Option<f64> {
-        Self::kth_distance_of(self.k, x, set)
+    /// Repacks the reference set into the transposed snapshot.
+    fn rebuild_snapshot(&mut self) {
+        let m = self.reference.len();
+        let dim = self.reference.first().map_or(0, |r| r.as_slice().len());
+        self.snapshot = Matrix::from_fn(dim, m, |j, c| self.reference[c].as_slice()[j]);
+    }
+
+    /// Distance from `x` to its `k`-th nearest neighbour, computed as one
+    /// SIMD-friendly sweep over the packed snapshot.
+    ///
+    /// Per feature `j`, `Scalar::sq_dist_accum` adds `(x_j − ref_j)²` into
+    /// every reference's running total at once; ascending-`j` accumulation
+    /// from `0.0` reproduces the legacy per-point sequential sum bit for
+    /// bit, so the quickselect over the resulting multiset returns the
+    /// identical k-th value (ties and `-0.0` included — `total_cmp` is a
+    /// total order on bits).
+    pub fn snapshot_kth_distance(&mut self, k: usize, x: &FeatureVector) -> Option<f64> {
+        let m = self.snapshot.cols();
+        if m == 0 {
+            return None;
+        }
+        self.dists.clear();
+        self.dists.resize(m, 0.0);
+        for (j, &xj) in x.as_slice().iter().take(self.snapshot.rows()).enumerate() {
+            f64::sq_dist_accum(xj, self.snapshot.row(j), &mut self.dists);
+        }
+        for d in &mut self.dists {
+            *d = d.sqrt();
+        }
+        let idx = (k - 1).min(m - 1);
+        let (_, kth, _) = self.dists.select_nth_unstable_by(idx, f64::total_cmp);
+        Some(*kth)
     }
 }
 
@@ -75,7 +123,8 @@ impl StreamModel for KnnDistanceModel {
     }
 
     fn predict(&mut self, x: &FeatureVector) -> ModelOutput {
-        match self.kth_distance(x, &self.reference) {
+        let k = self.k;
+        match self.snapshot_kth_distance(k, x) {
             // d/(d+scale) maps [0, ∞) monotonically onto [0, 1) with the
             // calibrated typical distance landing at 0.5.
             Some(d) => ModelOutput::Score(d / (d + self.scale.max(f64::MIN_POSITIVE))),
@@ -85,12 +134,16 @@ impl StreamModel for KnnDistanceModel {
 
     fn fit_initial(&mut self, train: &[FeatureVector], _epochs: usize) {
         self.reference = train.to_vec();
+        self.rebuild_snapshot();
         // Calibrate: median of within-set kth-neighbour distances. Skip
         // self-distance by asking for the (k+1)-th within the set — the
         // old code cloned the entire model (reference set included) per
-        // training point just to carry that k+1.
+        // training point just to carry that k+1. Routed through the
+        // snapshot sweep (bitwise-equal to the per-point path), turning
+        // the O(m²·dim) calibration stride-friendly.
+        let k1 = self.k + 1;
         let mut typical: Vec<f64> =
-            train.iter().filter_map(|x| Self::kth_distance_of(self.k + 1, x, train)).collect();
+            train.iter().filter_map(|x| self.snapshot_kth_distance(k1, x)).collect();
         if !typical.is_empty() {
             let mid = typical.len() / 2;
             let (_, median, _) = typical.select_nth_unstable_by(mid, f64::total_cmp);
@@ -103,8 +156,11 @@ impl StreamModel for KnnDistanceModel {
 
     fn fine_tune(&mut self, train: &[FeatureVector]) {
         // θ_model is empty: "fine-tuning" just refreshes the reference set
-        // (the training set IS the model — the SAFARI special case).
+        // (the training set IS the model — the SAFARI special case). The
+        // packed snapshot is rebuilt here, on the training event, never on
+        // the per-query path.
         self.reference = train.to_vec();
+        self.rebuild_snapshot();
     }
 
     fn clone_box(&self) -> Box<dyn StreamModel> {

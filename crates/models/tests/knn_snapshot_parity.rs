@@ -1,0 +1,136 @@
+//! Bitwise parity for the kNN snapshot distance sweep.
+//!
+//! `KnnDistanceModel::snapshot_kth_distance` computes every query-to-
+//! reference distance in one pass over the packed transposed snapshot
+//! (`Scalar::sq_dist_accum` per feature row) and quickselects the k-th
+//! order statistic. The frozen reference is the legacy per-point path
+//! `kth_distance_of`: sequential squared-difference sum per reference,
+//! then the same `total_cmp` quickselect. The sweep accumulates in the
+//! identical ascending-feature order from `0.0`, so the distance multiset
+//! — and therefore the selected k-th value — must match **bit for bit**,
+//! including `-0.0` members and exact ties.
+
+use proptest::prelude::*;
+use sad_core::{FeatureVector, ModelOutput, StreamModel};
+use sad_models::KnnDistanceModel;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Plants exact 0.0 / -0.0 every ~8 values so squared differences of
+/// exactly zero (and hence tied / signed-zero distances) arise.
+fn fill_value(state: &mut u64) -> f64 {
+    let r = lcg(state);
+    match r % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        _ => (r % 2000) as f64 / 211.0 - 4.5,
+    }
+}
+
+fn feature_vector(dim: usize, seed: u64) -> FeatureVector {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    FeatureVector::new((0..dim).map(|_| fill_value(&mut state)).collect(), dim, 1)
+}
+
+fn reference_set(m: usize, dim: usize, seed: u64) -> Vec<FeatureVector> {
+    (0..m).map(|c| feature_vector(dim, seed.wrapping_add(c as u64 * 131))).collect()
+}
+
+fn fitted(k: usize, refs: &[FeatureVector]) -> KnnDistanceModel {
+    let mut model = KnnDistanceModel::new(k);
+    model.fine_tune(refs); // installs the reference set + snapshot, no calibration
+    model
+}
+
+#[test]
+fn snapshot_sweep_matches_legacy_bitwise_across_shapes() {
+    for &m in &[1usize, 2, 3, 4, 5, 7, 8, 9, 16, 17, 33, 100] {
+        for &dim in &[1usize, 2, 3, 8, 12, 45] {
+            for &k in &[1usize, 3, 5, 200] {
+                let refs = reference_set(m, dim, (m * 1000 + dim * 10 + k) as u64);
+                let mut model = fitted(k.min(m).max(1), &refs);
+                for q in 0..4u64 {
+                    let x = feature_vector(dim, q.wrapping_mul(977).wrapping_add(m as u64));
+                    let want = KnnDistanceModel::kth_distance_of(k, &x, &refs).unwrap();
+                    let got = model.snapshot_kth_distance(k, &x).unwrap();
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "m={m} dim={dim} k={k} q={q}: sweep {got} vs legacy {want}",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Duplicated references produce exactly tied distances; a query equal to
+/// a reference produces an exact 0.0 distance. The selected k-th order
+/// statistic must still agree bit for bit (quickselect over identical
+/// multisets under the `total_cmp` total order).
+#[test]
+fn snapshot_sweep_handles_exact_ties_and_zero_distances() {
+    let base = feature_vector(6, 42);
+    let mut refs = reference_set(10, 6, 7);
+    refs.push(base.clone());
+    refs.push(base.clone()); // duplicate → tied zero distances for `base`
+    refs.push(refs[0].clone()); // another exact tie pair
+    for k in 1..=refs.len() {
+        let mut model = fitted(k.min(refs.len()), &refs);
+        for x in [&base, &refs[0], &feature_vector(6, 99)] {
+            let want = KnnDistanceModel::kth_distance_of(k, x, &refs).unwrap();
+            let got = model.snapshot_kth_distance(k, x).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "k={k}: {got} vs {want}");
+        }
+    }
+}
+
+#[test]
+fn empty_reference_set_yields_none_and_neutral_score() {
+    let mut model = KnnDistanceModel::new(3);
+    let x = feature_vector(4, 1);
+    assert_eq!(model.snapshot_kth_distance(3, &x), None);
+    assert_eq!(model.predict(&x), ModelOutput::Score(0.5));
+}
+
+/// End-to-end: a freshly calibrated model must score queries identically
+/// to a from-scratch recomputation through the legacy per-point path
+/// (calibration itself routes through the sweep, so scale is shared).
+#[test]
+fn predict_scores_match_legacy_path_bitwise() {
+    let refs = reference_set(40, 8, 12345);
+    let mut model = KnnDistanceModel::new(4);
+    model.fit_initial(&refs, 1);
+    for q in 0..20u64 {
+        let x = feature_vector(8, q * 31 + 5);
+        let legacy_d = KnnDistanceModel::kth_distance_of(4, &x, &refs).unwrap();
+        let sweep_d = model.snapshot_kth_distance(4, &x).unwrap();
+        assert_eq!(sweep_d.to_bits(), legacy_d.to_bits(), "q={q}");
+        match model.predict(&x) {
+            ModelOutput::Score(s) => assert!(s.is_finite() && (0.0..=1.0).contains(&s)),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_snapshot_sweep_is_bitwise_legacy(
+        m in 1usize..=40,
+        dim in 1usize..=16,
+        k in 1usize..=8,
+        seed in 0u64..100000,
+    ) {
+        let refs = reference_set(m, dim, seed);
+        let mut model = fitted(k, &refs);
+        let x = feature_vector(dim, seed ^ 0xdead);
+        let want = KnnDistanceModel::kth_distance_of(k, &x, &refs).unwrap();
+        let got = model.snapshot_kth_distance(k, &x).unwrap();
+        prop_assert_eq!(got.to_bits(), want.to_bits(), "sweep {} vs legacy {}", got, want);
+    }
+}

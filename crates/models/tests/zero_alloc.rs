@@ -60,7 +60,7 @@ fn count_allocs(f: impl FnOnce()) -> usize {
 }
 
 use sad_core::{FeatureVector, StreamModel};
-use sad_models::{NBeats, TwoLayerAe, Usad};
+use sad_models::{KnnDistanceModel, NBeats, TwoLayerAe, Usad};
 
 fn sine_windows(count: usize, w: usize) -> Vec<FeatureVector> {
     (0..count)
@@ -108,6 +108,24 @@ fn usad_fine_tune_is_allocation_free() {
         Box::new(Usad::for_dim(16, 7).with_batch_size(8)),
         "USAD b=8",
     );
+}
+
+/// The kNN predict path must not allocate in steady state: the packed
+/// snapshot is rebuilt only on training events and the squared-distance
+/// scratch is sized on the first query, so subsequent queries run the
+/// sweep + quickselect entirely in place.
+#[test]
+fn knn_predict_is_allocation_free_after_first_query() {
+    let train = sine_windows(40, 8);
+    let mut model = KnnDistanceModel::new(3);
+    model.fit_initial(&train, 1); // also sizes the distance scratch
+    let probes = sine_windows(10, 8);
+    let n = count_allocs(|| {
+        for x in &probes {
+            let _ = model.predict(x);
+        }
+    });
+    assert_eq!(n, 0, "steady-state kNN predict must not allocate, saw {n} allocations");
 }
 
 #[test]

@@ -33,6 +33,8 @@
 //! binary reports the measured GFLOP/s / GB/s per precision.
 
 pub mod matrix;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod microkernel;
 pub mod optim;
 pub mod scalar;
 pub mod solve;
@@ -40,6 +42,9 @@ pub mod vector;
 
 pub use matrix::Matrix;
 pub use optim::{Adam, OnlineNewtonStep, Optimizer, Sgd};
-pub use scalar::{dot_pinned_f32, dot_pinned_f64, simd_enabled, Scalar};
+pub use scalar::{
+    axpy_tiled, dot_pinned_f32, dot_pinned_f64, rank4_update_tiled, simd_enabled,
+    sq_dist_accum_tiled, Scalar,
+};
 pub use solve::{invert, least_squares, solve, SolveError};
 pub use vector::{axpy, cosine_similarity, dot, l2_norm, linf_norm, mean, scale, sub};

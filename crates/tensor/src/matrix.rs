@@ -13,7 +13,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use crate::scalar::{axpy_tiled, rank4_update_tiled, Scalar};
+use crate::scalar::Scalar;
 
 /// A dense row-major matrix over precision `T` (default `f64`).
 #[derive(Clone, PartialEq)]
@@ -171,9 +171,19 @@ impl<T: Scalar> Matrix<T> {
     }
 
     /// Copies column `j` into a fresh vector.
+    ///
+    /// Allocates; column-walking hot paths should prefer the strided
+    /// [`Matrix::col_iter`].
     pub fn col(&self, j: usize) -> Vec<T> {
-        assert!(j < self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates column `j` top to bottom without allocating — one strided
+    /// load per row.
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = T> + '_ {
+        assert!(j < self.cols, "column index {j} out of range for {} cols", self.cols);
+        self.data.iter().skip(j).step_by(self.cols).copied()
     }
 
     /// Matrix product `self * rhs`.
@@ -222,13 +232,13 @@ impl<T: Scalar> Matrix<T> {
                 let a = [arow[k], arow[k + 1], arow[k + 2], arow[k + 3]];
                 let rr = &rhs.data[k * n..(k + 4) * n];
                 if a[0] != T::ZERO && a[1] != T::ZERO && a[2] != T::ZERO && a[3] != T::ZERO {
-                    rank4_update_tiled(a, &rr[..n], &rr[n..2 * n], &rr[2 * n..3 * n], &rr[3 * n..], orow);
+                    T::rank4_update(a, &rr[..n], &rr[n..2 * n], &rr[2 * n..3 * n], &rr[3 * n..], orow);
                 } else {
                     for (t, &av) in a.iter().enumerate() {
                         if av == T::ZERO {
                             continue;
                         }
-                        axpy_tiled(av, &rr[t * n..(t + 1) * n], orow);
+                        T::axpy(av, &rr[t * n..(t + 1) * n], orow);
                     }
                 }
                 k += 4;
@@ -237,7 +247,7 @@ impl<T: Scalar> Matrix<T> {
                 if av == T::ZERO {
                     continue;
                 }
-                axpy_tiled(av, &rhs.data[kk * n..(kk + 1) * n], orow);
+                T::axpy(av, &rhs.data[kk * n..(kk + 1) * n], orow);
             }
         }
     }
@@ -291,7 +301,7 @@ impl<T: Scalar> Matrix<T> {
                 if a == T::ZERO {
                     continue;
                 }
-                axpy_tiled(a, rrow, &mut out.data[k * n..(k + 1) * n]);
+                T::axpy(a, rrow, &mut out.data[k * n..(k + 1) * n]);
             }
         }
     }
@@ -328,6 +338,13 @@ impl<T: Scalar> Matrix<T> {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.rows, rhs.rows), "matmul_transpose_b_into shape mismatch");
+        // Register-blocked micro-kernel (AVX2 panel, one pinned lane
+        // accumulator per output element) when the build and CPU carry it;
+        // the per-element dot loop below is the bitwise-identical portable
+        // path. The dispatch check runs once per GEMM, not per element.
+        if T::gemm_tb_blocked(&self.data, &rhs.data, &mut out.data, self.rows, rhs.rows, self.cols) {
+            return;
+        }
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
@@ -359,7 +376,7 @@ impl<T: Scalar> Matrix<T> {
             if vi == T::ZERO {
                 continue;
             }
-            axpy_tiled(vi, self.row(i), &mut out);
+            T::axpy(vi, self.row(i), &mut out);
         }
         out
     }
@@ -367,9 +384,9 @@ impl<T: Scalar> Matrix<T> {
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix<T> {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+        for j in 0..self.cols {
+            for (o, v) in out.row_mut(j).iter_mut().zip(self.col_iter(j)) {
+                *o = v;
             }
         }
         out

@@ -1,0 +1,465 @@
+//! Register-blocked AVX2 micro-kernels behind the `simd` feature.
+//!
+//! Every kernel here is an *instruction-level* rewrite of a pinned portable
+//! kernel in [`crate::scalar`] — same IEEE-754 operations, same order, so
+//! the f64 results are bitwise identical and the f32 results match the
+//! pinned 8-lane layout exactly. The wins come from instruction selection
+//! only:
+//!
+//! * **GEMM panel kernel** ([`gemm_tb_f64_avx2`] / [`gemm_tb_f32_avx2`]):
+//!   the `A · Bᵀ` serving GEMM computed as 2-row × 4-column output panels.
+//!   Each of the 8 panel outputs keeps its *own* lane-accumulator register
+//!   (4 lanes f64 / 8 lanes f32) — the k-loop of one output is never split
+//!   across registers, so each output's reduction order is exactly
+//!   [`dot_pinned_f64`](crate::scalar::dot_pinned_f64) /
+//!   [`dot_pinned_f32`](crate::scalar::dot_pinned_f32). What the blocking
+//!   buys is ILP (8 independent add chains hide the 4-cycle vector-add
+//!   latency that bounds a single-accumulator dot) and load reuse (each
+//!   `a` vector feeds 4 outputs, each `b` vector feeds 2).
+//! * **axpy / rank-4 row update**: element-wise sweeps where vectorization
+//!   cannot change the per-element operation order; AVX2 only widens the
+//!   lanes past the SSE2 baseline the default target emits.
+//! * **Squared-distance sweep** ([`sq_dist_accum_f64_avx2`]): the kNN
+//!   snapshot kernel, `acc[c] += (x_j − refs[c])²` — element-wise, same
+//!   argument.
+//!
+//! No kernel uses FMA: fused multiply-add skips the intermediate rounding
+//! of the product and would change bits (see the crate-level discussion in
+//! [`crate::scalar`]).
+
+use std::arch::x86_64::*;
+
+/// Reduce a 4-lane f64 accumulator in the pinned `(l0+l2)+(l1+l3)` order.
+///
+/// # Safety
+/// Requires AVX2 (callers are `#[target_feature(enable = "avx2")]`).
+#[target_feature(enable = "avx2")]
+unsafe fn hreduce_pd(acc: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(acc); // [l0, l1]
+    let hi = _mm256_extractf128_pd::<1>(acc); // [l2, l3]
+    let s = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+    let upper = _mm_unpackhi_pd(s, s);
+    _mm_cvtsd_f64(_mm_add_sd(s, upper))
+}
+
+/// Reduce an 8-lane f32 accumulator in the pinned
+/// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` order.
+///
+/// # Safety
+/// Requires AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn hreduce_ps(acc: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(acc); // [l0, l1, l2, l3]
+    let hi = _mm256_extractf128_ps::<1>(acc); // [l4, l5, l6, l7]
+    let s = _mm_add_ps(lo, hi); // [l0+l4, l1+l5, l2+l6, l3+l7]
+    let upper = _mm_movehl_ps(s, s);
+    let t = _mm_add_ps(s, upper); // [(l0+l4)+(l2+l6), (l1+l5)+(l3+l7), ..]
+    let t1 = _mm_shuffle_ps::<0b01>(t, t);
+    _mm_cvtss_f32(_mm_add_ss(t, t1))
+}
+
+/// Register-blocked `out = A · Bᵀ` (f64): `A` is `m×k`, `B` is `n×k`, both
+/// row-major, `out` is `m×n`.
+///
+/// 2×4 output panels, one 4-lane accumulator per output, pinned horizontal
+/// reduce + ascending scalar tail per output — bitwise-equal to one
+/// `dot_pinned_f64(a.row(i), b.row(j))` per element. Panel remainders
+/// (odd trailing row, `n % 4` trailing columns) fall back to the plain
+/// AVX2 dot, which shares the same pinned order.
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime and pass consistent dimensions
+/// (`a.len() == m*k`, `b.len() == n*k`, `out.len() == m*n`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_tb_f64_avx2(a: &[f64], b: &[f64], out: &mut [f64], m: usize, n: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let kc = k / 4 * 4;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut i = 0;
+    while i + 2 <= m {
+        let ar0 = ap.add(i * k);
+        let ar1 = ap.add((i + 1) * k);
+        let mut j = 0;
+        while j + 4 <= n {
+            let br0 = bp.add(j * k);
+            let br1 = bp.add((j + 1) * k);
+            let br2 = bp.add((j + 2) * k);
+            let br3 = bp.add((j + 3) * k);
+            let mut c00 = _mm256_setzero_pd();
+            let mut c01 = _mm256_setzero_pd();
+            let mut c02 = _mm256_setzero_pd();
+            let mut c03 = _mm256_setzero_pd();
+            let mut c10 = _mm256_setzero_pd();
+            let mut c11 = _mm256_setzero_pd();
+            let mut c12 = _mm256_setzero_pd();
+            let mut c13 = _mm256_setzero_pd();
+            let mut kk = 0;
+            while kk < kc {
+                let va0 = _mm256_loadu_pd(ar0.add(kk));
+                let va1 = _mm256_loadu_pd(ar1.add(kk));
+                let vb0 = _mm256_loadu_pd(br0.add(kk));
+                let vb1 = _mm256_loadu_pd(br1.add(kk));
+                let vb2 = _mm256_loadu_pd(br2.add(kk));
+                let vb3 = _mm256_loadu_pd(br3.add(kk));
+                c00 = _mm256_add_pd(c00, _mm256_mul_pd(va0, vb0));
+                c01 = _mm256_add_pd(c01, _mm256_mul_pd(va0, vb1));
+                c02 = _mm256_add_pd(c02, _mm256_mul_pd(va0, vb2));
+                c03 = _mm256_add_pd(c03, _mm256_mul_pd(va0, vb3));
+                c10 = _mm256_add_pd(c10, _mm256_mul_pd(va1, vb0));
+                c11 = _mm256_add_pd(c11, _mm256_mul_pd(va1, vb1));
+                c12 = _mm256_add_pd(c12, _mm256_mul_pd(va1, vb2));
+                c13 = _mm256_add_pd(c13, _mm256_mul_pd(va1, vb3));
+                kk += 4;
+            }
+            let panel = [[c00, c01, c02, c03], [c10, c11, c12, c13]];
+            let arows = [ar0, ar1];
+            let brows = [br0, br1, br2, br3];
+            for (r, accs) in panel.iter().enumerate() {
+                let orow = out.as_mut_ptr().add((i + r) * n + j);
+                for (c, &acc) in accs.iter().enumerate() {
+                    let mut s = hreduce_pd(acc);
+                    for t in kc..k {
+                        s += *arows[r].add(t) * *brows[c].add(t);
+                    }
+                    *orow.add(c) = s;
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let br = bp.add(j * k);
+            for (r, &ar) in [ar0, ar1].iter().enumerate() {
+                *out.as_mut_ptr().add((i + r) * n + j) = dot_raw_f64(ar, br, k);
+            }
+            j += 1;
+        }
+        i += 2;
+    }
+    if i < m {
+        let ar = ap.add(i * k);
+        for j in 0..n {
+            *out.as_mut_ptr().add(i * n + j) = dot_raw_f64(ar, bp.add(j * k), k);
+        }
+    }
+}
+
+/// Raw-pointer form of the pinned AVX2 f64 dot (panel-remainder fallback).
+///
+/// # Safety
+/// Requires AVX2 and `k` readable elements behind both pointers.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_raw_f64(a: *const f64, b: *const f64, k: usize) -> f64 {
+    let kc = k / 4 * 4;
+    let mut acc = _mm256_setzero_pd();
+    let mut kk = 0;
+    while kk < kc {
+        let va = _mm256_loadu_pd(a.add(kk));
+        let vb = _mm256_loadu_pd(b.add(kk));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+        kk += 4;
+    }
+    let mut sum = hreduce_pd(acc);
+    for t in kc..k {
+        sum += *a.add(t) * *b.add(t);
+    }
+    sum
+}
+
+/// Register-blocked `out = A · Bᵀ` (f32) — the 8-lane counterpart of
+/// [`gemm_tb_f64_avx2`]: 2×4 output panels, one 8-lane accumulator per
+/// output, pinned `dot_pinned_f32` reduce + ascending tail.
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime and pass consistent dimensions.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_tb_f32_avx2(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let kc = k / 8 * 8;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut i = 0;
+    while i + 2 <= m {
+        let ar0 = ap.add(i * k);
+        let ar1 = ap.add((i + 1) * k);
+        let mut j = 0;
+        while j + 4 <= n {
+            let br0 = bp.add(j * k);
+            let br1 = bp.add((j + 1) * k);
+            let br2 = bp.add((j + 2) * k);
+            let br3 = bp.add((j + 3) * k);
+            let mut c00 = _mm256_setzero_ps();
+            let mut c01 = _mm256_setzero_ps();
+            let mut c02 = _mm256_setzero_ps();
+            let mut c03 = _mm256_setzero_ps();
+            let mut c10 = _mm256_setzero_ps();
+            let mut c11 = _mm256_setzero_ps();
+            let mut c12 = _mm256_setzero_ps();
+            let mut c13 = _mm256_setzero_ps();
+            let mut kk = 0;
+            while kk < kc {
+                let va0 = _mm256_loadu_ps(ar0.add(kk));
+                let va1 = _mm256_loadu_ps(ar1.add(kk));
+                let vb0 = _mm256_loadu_ps(br0.add(kk));
+                let vb1 = _mm256_loadu_ps(br1.add(kk));
+                let vb2 = _mm256_loadu_ps(br2.add(kk));
+                let vb3 = _mm256_loadu_ps(br3.add(kk));
+                c00 = _mm256_add_ps(c00, _mm256_mul_ps(va0, vb0));
+                c01 = _mm256_add_ps(c01, _mm256_mul_ps(va0, vb1));
+                c02 = _mm256_add_ps(c02, _mm256_mul_ps(va0, vb2));
+                c03 = _mm256_add_ps(c03, _mm256_mul_ps(va0, vb3));
+                c10 = _mm256_add_ps(c10, _mm256_mul_ps(va1, vb0));
+                c11 = _mm256_add_ps(c11, _mm256_mul_ps(va1, vb1));
+                c12 = _mm256_add_ps(c12, _mm256_mul_ps(va1, vb2));
+                c13 = _mm256_add_ps(c13, _mm256_mul_ps(va1, vb3));
+                kk += 8;
+            }
+            let panel = [[c00, c01, c02, c03], [c10, c11, c12, c13]];
+            let arows = [ar0, ar1];
+            let brows = [br0, br1, br2, br3];
+            for (r, accs) in panel.iter().enumerate() {
+                let orow = out.as_mut_ptr().add((i + r) * n + j);
+                for (c, &acc) in accs.iter().enumerate() {
+                    let mut s = hreduce_ps(acc);
+                    for t in kc..k {
+                        s += *arows[r].add(t) * *brows[c].add(t);
+                    }
+                    *orow.add(c) = s;
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let br = bp.add(j * k);
+            for (r, &ar) in [ar0, ar1].iter().enumerate() {
+                *out.as_mut_ptr().add((i + r) * n + j) = dot_raw_f32(ar, br, k);
+            }
+            j += 1;
+        }
+        i += 2;
+    }
+    if i < m {
+        let ar = ap.add(i * k);
+        for j in 0..n {
+            *out.as_mut_ptr().add(i * n + j) = dot_raw_f32(ar, bp.add(j * k), k);
+        }
+    }
+}
+
+/// Raw-pointer form of the pinned AVX2 f32 dot (panel-remainder fallback).
+///
+/// # Safety
+/// Requires AVX2 and `k` readable elements behind both pointers.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_raw_f32(a: *const f32, b: *const f32, k: usize) -> f32 {
+    let kc = k / 8 * 8;
+    let mut acc = _mm256_setzero_ps();
+    let mut kk = 0;
+    while kk < kc {
+        let va = _mm256_loadu_ps(a.add(kk));
+        let vb = _mm256_loadu_ps(b.add(kk));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        kk += 8;
+    }
+    let mut sum = hreduce_ps(acc);
+    for t in kc..k {
+        sum += *a.add(t) * *b.add(t);
+    }
+    sum
+}
+
+/// AVX2 `y += alpha · x` (f64). Element-wise: each output element receives
+/// exactly one `+= alpha·x[j]`, same as the portable
+/// [`axpy_tiled`](crate::scalar::axpy_tiled).
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime; `x.len() == y.len()`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy_f64_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let va = _mm256_set1_pd(alpha);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let y0 = _mm256_loadu_pd(yp.add(i));
+        let y1 = _mm256_loadu_pd(yp.add(i + 4));
+        let x0 = _mm256_loadu_pd(xp.add(i));
+        let x1 = _mm256_loadu_pd(xp.add(i + 4));
+        _mm256_storeu_pd(yp.add(i), _mm256_add_pd(y0, _mm256_mul_pd(va, x0)));
+        _mm256_storeu_pd(yp.add(i + 4), _mm256_add_pd(y1, _mm256_mul_pd(va, x1)));
+        i += 8;
+    }
+    while i + 4 <= n {
+        let y0 = _mm256_loadu_pd(yp.add(i));
+        let x0 = _mm256_loadu_pd(xp.add(i));
+        _mm256_storeu_pd(yp.add(i), _mm256_add_pd(y0, _mm256_mul_pd(va, x0)));
+        i += 4;
+    }
+    while i < n {
+        *yp.add(i) += alpha * *xp.add(i);
+        i += 1;
+    }
+}
+
+/// AVX2 `y += alpha · x` (f32).
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime; `x.len() == y.len()`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy_f32_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let va = _mm256_set1_ps(alpha);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let y0 = _mm256_loadu_ps(yp.add(i));
+        let x0 = _mm256_loadu_ps(xp.add(i));
+        _mm256_storeu_ps(yp.add(i), _mm256_add_ps(y0, _mm256_mul_ps(va, x0)));
+        i += 8;
+    }
+    while i < n {
+        *yp.add(i) += alpha * *xp.add(i);
+        i += 1;
+    }
+}
+
+/// AVX2 fused rank-4 row update `y += a0·r0 + a1·r1 + a2·r2 + a3·r3` (f64).
+///
+/// Per element the four `+=` happen in ascending-`k` order — the identical
+/// chain of the portable [`rank4_update_tiled`](crate::scalar::rank4_update_tiled).
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime; all slices share `y.len()`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn rank4_f64_avx2(a: [f64; 4], r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64], y: &mut [f64]) {
+    let n = y.len();
+    debug_assert!(r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n);
+    let va0 = _mm256_set1_pd(a[0]);
+    let va1 = _mm256_set1_pd(a[1]);
+    let va2 = _mm256_set1_pd(a[2]);
+    let va3 = _mm256_set1_pd(a[3]);
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let mut t = _mm256_loadu_pd(yp.add(i));
+        t = _mm256_add_pd(t, _mm256_mul_pd(va0, _mm256_loadu_pd(r0.as_ptr().add(i))));
+        t = _mm256_add_pd(t, _mm256_mul_pd(va1, _mm256_loadu_pd(r1.as_ptr().add(i))));
+        t = _mm256_add_pd(t, _mm256_mul_pd(va2, _mm256_loadu_pd(r2.as_ptr().add(i))));
+        t = _mm256_add_pd(t, _mm256_mul_pd(va3, _mm256_loadu_pd(r3.as_ptr().add(i))));
+        _mm256_storeu_pd(yp.add(i), t);
+        i += 4;
+    }
+    while i < n {
+        let mut t = *yp.add(i);
+        t += a[0] * *r0.get_unchecked(i);
+        t += a[1] * *r1.get_unchecked(i);
+        t += a[2] * *r2.get_unchecked(i);
+        t += a[3] * *r3.get_unchecked(i);
+        *yp.add(i) = t;
+        i += 1;
+    }
+}
+
+/// AVX2 fused rank-4 row update (f32).
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime; all slices share `y.len()`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn rank4_f32_avx2(a: [f32; 4], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32], y: &mut [f32]) {
+    let n = y.len();
+    debug_assert!(r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n);
+    let va0 = _mm256_set1_ps(a[0]);
+    let va1 = _mm256_set1_ps(a[1]);
+    let va2 = _mm256_set1_ps(a[2]);
+    let va3 = _mm256_set1_ps(a[3]);
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let mut t = _mm256_loadu_ps(yp.add(i));
+        t = _mm256_add_ps(t, _mm256_mul_ps(va0, _mm256_loadu_ps(r0.as_ptr().add(i))));
+        t = _mm256_add_ps(t, _mm256_mul_ps(va1, _mm256_loadu_ps(r1.as_ptr().add(i))));
+        t = _mm256_add_ps(t, _mm256_mul_ps(va2, _mm256_loadu_ps(r2.as_ptr().add(i))));
+        t = _mm256_add_ps(t, _mm256_mul_ps(va3, _mm256_loadu_ps(r3.as_ptr().add(i))));
+        _mm256_storeu_ps(yp.add(i), t);
+        i += 8;
+    }
+    while i < n {
+        let mut t = *yp.add(i);
+        t += a[0] * *r0.get_unchecked(i);
+        t += a[1] * *r1.get_unchecked(i);
+        t += a[2] * *r2.get_unchecked(i);
+        t += a[3] * *r3.get_unchecked(i);
+        *yp.add(i) = t;
+        i += 1;
+    }
+}
+
+/// AVX2 squared-distance sweep `acc[c] += (x_j − refs[c])²` (f64) — the
+/// kNN snapshot kernel. Element-wise: each accumulator receives one
+/// subtract, one multiply, one add, same as the portable
+/// [`sq_dist_accum_tiled`](crate::scalar::sq_dist_accum_tiled).
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime; `refs.len() == acc.len()`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sq_dist_accum_f64_avx2(xj: f64, refs: &[f64], acc: &mut [f64]) {
+    debug_assert_eq!(refs.len(), acc.len());
+    let n = refs.len();
+    let vx = _mm256_set1_pd(xj);
+    let rp = refs.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let d0 = _mm256_sub_pd(vx, _mm256_loadu_pd(rp.add(i)));
+        let d1 = _mm256_sub_pd(vx, _mm256_loadu_pd(rp.add(i + 4)));
+        let a0 = _mm256_loadu_pd(ap.add(i));
+        let a1 = _mm256_loadu_pd(ap.add(i + 4));
+        _mm256_storeu_pd(ap.add(i), _mm256_add_pd(a0, _mm256_mul_pd(d0, d0)));
+        _mm256_storeu_pd(ap.add(i + 4), _mm256_add_pd(a1, _mm256_mul_pd(d1, d1)));
+        i += 8;
+    }
+    while i + 4 <= n {
+        let d0 = _mm256_sub_pd(vx, _mm256_loadu_pd(rp.add(i)));
+        let a0 = _mm256_loadu_pd(ap.add(i));
+        _mm256_storeu_pd(ap.add(i), _mm256_add_pd(a0, _mm256_mul_pd(d0, d0)));
+        i += 4;
+    }
+    while i < n {
+        let d = xj - *rp.add(i);
+        *ap.add(i) += d * d;
+        i += 1;
+    }
+}
+
+/// AVX2 squared-distance sweep (f32).
+///
+/// # Safety
+/// Caller must verify AVX2 at runtime; `refs.len() == acc.len()`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sq_dist_accum_f32_avx2(xj: f32, refs: &[f32], acc: &mut [f32]) {
+    debug_assert_eq!(refs.len(), acc.len());
+    let n = refs.len();
+    let vx = _mm256_set1_ps(xj);
+    let rp = refs.as_ptr();
+    let ap = acc.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let d0 = _mm256_sub_ps(vx, _mm256_loadu_ps(rp.add(i)));
+        let a0 = _mm256_loadu_ps(ap.add(i));
+        _mm256_storeu_ps(ap.add(i), _mm256_add_ps(a0, _mm256_mul_ps(d0, d0)));
+        i += 8;
+    }
+    while i < n {
+        let d = xj - *rp.add(i);
+        *ap.add(i) += d * d;
+        i += 1;
+    }
+}

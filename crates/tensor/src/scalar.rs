@@ -19,12 +19,17 @@
 //! * `f32`: 8 lanes (one AVX register width) reduced as
 //!   `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`, scalar tail.
 //!
-//! The optional `simd` cargo feature swaps in `core::arch` AVX2 variants of
-//! both kernels. They use separate multiply and add instructions — **never
-//! FMA**, which contracts the intermediate rounding step and would change
-//! bits — and reduce horizontally in the same pinned order, so enabling the
-//! feature is observationally invisible: the f64 parity suites pass with it
-//! on or off (asserted by `tests/precision_parity.rs`).
+//! The `simd` cargo feature (default-on, runtime-dispatched on AVX2
+//! support) swaps in `core::arch` AVX2 variants of the dot kernels plus
+//! the register-blocked micro-kernel layer in [`crate::microkernel`]: a
+//! 2×4-output GEMM panel kernel for `A · Bᵀ` where every output keeps its
+//! own pinned lane accumulator, and AVX2 element-wise axpy / rank-4 /
+//! squared-distance sweeps. All of them use separate multiply and add
+//! instructions — **never FMA**, which contracts the intermediate rounding
+//! step and would change bits — and reduce horizontally in the same pinned
+//! order, so enabling the feature is observationally invisible: the f64
+//! parity suites pass with it on or off (asserted by
+//! `tests/precision_parity.rs`).
 //!
 //! [`Matrix`]: crate::Matrix
 
@@ -97,6 +102,62 @@ pub trait Scalar:
     /// Dispatches to the AVX2 variant when the `simd` feature is enabled
     /// and the CPU supports it; both paths are bitwise-identical.
     fn dot(a: &[Self], b: &[Self]) -> Self;
+
+    /// In-place `y += alpha · x` — the row-sweep kernel of
+    /// [`matmul_into`](crate::Matrix::matmul_into),
+    /// [`matmul_transpose_a_acc`](crate::Matrix::matmul_transpose_a_acc)
+    /// and [`matvec_t`](crate::Matrix::matvec_t).
+    ///
+    /// Element-wise, so vectorization cannot change the per-element
+    /// operation order: the AVX2 override (under `simd`) is bitwise-equal
+    /// to the portable [`axpy_tiled`].
+    #[inline]
+    fn axpy(alpha: Self, x: &[Self], y: &mut [Self]) {
+        axpy_tiled(alpha, x, y);
+    }
+
+    /// Fused rank-4 row update `y += a0·r0 + a1·r1 + a2·r2 + a3·r3` — the
+    /// register-blocked inner tile of [`matmul_into`](crate::Matrix::matmul_into).
+    ///
+    /// Per element the four `+=` happen in ascending-`k` order (same chain
+    /// on every dispatch leg — see [`rank4_update_tiled`]).
+    #[inline]
+    fn rank4_update(a: [Self; 4], r0: &[Self], r1: &[Self], r2: &[Self], r3: &[Self], y: &mut [Self]) {
+        rank4_update_tiled(a, r0, r1, r2, r3, y);
+    }
+
+    /// Squared-distance sweep `acc[c] += (xj − refs[c])²` — the kNN
+    /// snapshot kernel (one call per feature dimension, `refs` holding that
+    /// feature across the packed reference set).
+    ///
+    /// Element-wise; every dispatch leg is bitwise-equal to
+    /// [`sq_dist_accum_tiled`].
+    #[inline]
+    fn sq_dist_accum(xj: Self, refs: &[Self], acc: &mut [Self]) {
+        sq_dist_accum_tiled(xj, refs, acc);
+    }
+
+    /// Register-blocked `out = A · Bᵀ` micro-kernel (`A` is `m×k`, `B` is
+    /// `n×k`, both row-major).
+    ///
+    /// Returns `true` if a micro-kernel handled the product; `false` asks
+    /// the caller to fall back to the portable per-element
+    /// [`dot`](Scalar::dot) loop, so the runtime CPU check is hoisted to
+    /// once per GEMM instead of once per output element. Every output
+    /// element of the blocked path keeps its own pinned lane accumulator
+    /// ([`crate::microkernel`]), so taking either path yields bitwise
+    /// identical results.
+    #[inline]
+    fn gemm_tb_blocked(
+        _a: &[Self],
+        _b: &[Self],
+        _out: &mut [Self],
+        _m: usize,
+        _n: usize,
+        _k: usize,
+    ) -> bool {
+        false
+    }
 }
 
 impl Scalar for f64 {
@@ -147,6 +208,52 @@ impl Scalar for f64 {
         }
         dot_pinned_f64(a, b)
     }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn axpy(alpha: Self, x: &[Self], y: &mut [Self]) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { crate::microkernel::axpy_f64_avx2(alpha, x, y) }
+        } else {
+            axpy_tiled(alpha, x, y);
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn rank4_update(a: [Self; 4], r0: &[Self], r1: &[Self], r2: &[Self], r3: &[Self], y: &mut [Self]) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { crate::microkernel::rank4_f64_avx2(a, r0, r1, r2, r3, y) }
+        } else {
+            rank4_update_tiled(a, r0, r1, r2, r3, y);
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn sq_dist_accum(xj: Self, refs: &[Self], acc: &mut [Self]) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { crate::microkernel::sq_dist_accum_f64_avx2(xj, refs, acc) }
+        } else {
+            sq_dist_accum_tiled(xj, refs, acc);
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn gemm_tb_blocked(a: &[Self], b: &[Self], out: &mut [Self], m: usize, n: usize, k: usize) -> bool {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime; the shape
+            // invariants are the caller's (matmul_transpose_b_into) asserts.
+            unsafe { crate::microkernel::gemm_tb_f64_avx2(a, b, out, m, n, k) }
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl Scalar for f32 {
@@ -196,6 +303,52 @@ impl Scalar for f32 {
             return unsafe { x86::dot_f32_avx2(a, b) };
         }
         dot_pinned_f32(a, b)
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn axpy(alpha: Self, x: &[Self], y: &mut [Self]) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { crate::microkernel::axpy_f32_avx2(alpha, x, y) }
+        } else {
+            axpy_tiled(alpha, x, y);
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn rank4_update(a: [Self; 4], r0: &[Self], r1: &[Self], r2: &[Self], r3: &[Self], y: &mut [Self]) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { crate::microkernel::rank4_f32_avx2(a, r0, r1, r2, r3, y) }
+        } else {
+            rank4_update_tiled(a, r0, r1, r2, r3, y);
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn sq_dist_accum(xj: Self, refs: &[Self], acc: &mut [Self]) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { crate::microkernel::sq_dist_accum_f32_avx2(xj, refs, acc) }
+        } else {
+            sq_dist_accum_tiled(xj, refs, acc);
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn gemm_tb_blocked(a: &[Self], b: &[Self], out: &mut [Self], m: usize, n: usize, k: usize) -> bool {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime; the shape
+            // invariants are the caller's (matmul_transpose_b_into) asserts.
+            unsafe { crate::microkernel::gemm_tb_f32_avx2(a, b, out, m, n, k) }
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -337,8 +490,11 @@ mod x86 {
 /// changes *which instructions* the compiler emits (clean 256-bit
 /// autovectorization for both precisions), never the per-element operation
 /// order, so the f64 instantiation is bitwise-identical to the naive loop.
+///
+/// Public as the frozen portable reference the `simd` AVX2 override
+/// ([`Scalar::axpy`]) is asserted bitwise-equal against.
 #[inline]
-pub(crate) fn axpy_tiled<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+pub fn axpy_tiled<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     debug_assert_eq!(x.len(), y.len());
     let chunks = x.len() / 8;
     let (xh, xt) = x.split_at(chunks * 8);
@@ -365,8 +521,10 @@ pub(crate) fn axpy_tiled<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
 /// operation sequence as four consecutive [`axpy_tiled`] sweeps — so the
 /// blocking only buys register reuse (the output row is loaded and stored
 /// once per four `k` instead of once per `k`), never a different result.
+///
+/// Public as the frozen portable reference for [`Scalar::rank4_update`].
 #[inline]
-pub(crate) fn rank4_update_tiled<T: Scalar>(
+pub fn rank4_update_tiled<T: Scalar>(
     a: [T; 4],
     r0: &[T],
     r1: &[T],
@@ -383,6 +541,23 @@ pub(crate) fn rank4_update_tiled<T: Scalar>(
         t += a[2] * r2[j];
         t += a[3] * r3[j];
         y[j] = t;
+    }
+}
+
+/// Squared-distance sweep `acc[c] += (xj − refs[c])²` — the portable kNN
+/// snapshot kernel behind [`Scalar::sq_dist_accum`].
+///
+/// Element-wise with one subtract, one multiply, one `+=` per accumulator
+/// — exactly the operation sequence of the sequential per-point distance
+/// `Σ_j (x_j − r_j)²` when called once per feature `j` over a transposed
+/// (feature-major) reference snapshot, so the sweep reproduces the legacy
+/// per-point sums bit for bit.
+#[inline]
+pub fn sq_dist_accum_tiled<T: Scalar>(xj: T, refs: &[T], acc: &mut [T]) {
+    debug_assert_eq!(refs.len(), acc.len());
+    for (o, &r) in acc.iter_mut().zip(refs) {
+        let d = xj - r;
+        *o += d * d;
     }
 }
 

@@ -44,9 +44,14 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
 
     for k in 0..n {
         // Partial pivoting: bring the largest remaining element in column k
-        // to the diagonal to keep the elimination numerically stable.
-        let (pivot_row, pivot_val) = (k..n)
-            .map(|i| (i, lu[(i, k)].abs()))
+        // to the diagonal to keep the elimination numerically stable. The
+        // strided `col_iter` walk replaces per-element `(i, k)` indexing
+        // (each of which re-derives the row offset).
+        let (pivot_row, pivot_val) = lu
+            .col_iter(k)
+            .enumerate()
+            .skip(k)
+            .map(|(i, v)| (i, v.abs()))
             .max_by(|l, r| l.1.total_cmp(&r.1))
             .expect("non-empty pivot range");
         if pivot_val < PIVOT_EPS {

@@ -18,7 +18,10 @@
 //! tiles at size−1 / size / size+1, plus degenerate 1×N and N×1.
 
 use proptest::prelude::*;
-use sad_tensor::{dot_pinned_f64, Matrix};
+use sad_tensor::{
+    axpy_tiled, dot_pinned_f32, dot_pinned_f64, rank4_update_tiled, sq_dist_accum_tiled, Matrix,
+    Scalar,
+};
 
 // ---------------------------------------------------------------------------
 // Frozen legacy references (pre-tiling semantics, f64 only).
@@ -139,10 +142,12 @@ fn assert_vec_bits_eq(got: &[f64], want: &[f64], ctx: &str) {
     }
 }
 
-/// Dimensions straddling every tile boundary: the 4-wide k block and the
-/// 8-wide lane tile at −1/exact/+1, plus 1 (degenerate row/column shapes
-/// arise from the cross product).
-const DIMS: &[usize] = &[1, 3, 4, 5, 7, 8, 9, 16, 17];
+/// Dimensions straddling every tile boundary: the 4-wide k block, the
+/// 8-wide lane tile, and the 2-row × 4-column GEMM panel of the `simd`
+/// micro-kernel at −1/exact/+1 (2 and 6 pin the `n % 4 == 2` column
+/// remainder; odd values pin the trailing-row path), plus 1 (degenerate
+/// row/column shapes arise from the cross product).
+const DIMS: &[usize] = &[1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 17];
 
 // ---------------------------------------------------------------------------
 // 1. Bitwise f64 parity, exhaustive over tile-boundary shapes.
@@ -222,6 +227,110 @@ fn matvec_kernels_match_legacy_bitwise_at_tile_boundaries() {
 }
 
 // ---------------------------------------------------------------------------
+// 1b. The f32 GEMM is pinned too: whatever dispatch leg runs, every output
+//     element must be exactly one 8-lane `dot_pinned_f32` — the contract
+//     that makes `InferPlan` snapshots reproducible across builds. (The
+//     f64 suite above proves the same for the 4-lane layout.)
+// ---------------------------------------------------------------------------
+
+fn matrix_f32(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    Matrix::<f32>::from_precision(&matrix(rows, cols, seed))
+}
+
+fn assert_bits_eq_f32(got: &Matrix<f32>, want: &Matrix<f32>, ctx: &str) {
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: element {i}: {g} vs {w}");
+    }
+}
+
+/// Frozen f32 `matmul_transpose_b`: one pinned 8-lane dot per element.
+fn ref_matmul_transpose_b_f32(a: &Matrix<f32>, rhs: &Matrix<f32>) -> Matrix<f32> {
+    let mut out = Matrix::<f32>::zeros(a.rows(), rhs.rows());
+    for i in 0..a.rows() {
+        for j in 0..rhs.rows() {
+            out.row_mut(i)[j] = dot_pinned_f32(a.row(i), rhs.row(j));
+        }
+    }
+    out
+}
+
+#[test]
+fn f32_matmul_transpose_b_is_pinned_8_lane_at_tile_boundaries() {
+    for &m in DIMS {
+        for &k in DIMS {
+            for &n in DIMS {
+                let a = matrix_f32(m, k, (m * 5 + k + n * 11) as u64);
+                let rhs = matrix_f32(n, k, (k * 3 + n) as u64);
+                let want = ref_matmul_transpose_b_f32(&a, &rhs);
+                let mut out = Matrix::<f32>::filled(m, n, -7.5);
+                a.matmul_transpose_b_into(&rhs, &mut out);
+                assert_bits_eq_f32(&out, &want, &format!("f32 gemm_tb {m}x{k}x{n}"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1c. Dispatching element-wise kernels (`Scalar::axpy` / `rank4_update` /
+//     `sq_dist_accum`) are bitwise-equal to the frozen portable tiles on
+//     whatever leg this build runs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dispatched_axpy_and_rank4_match_portable_tiles_bitwise() {
+    for &n in DIMS {
+        for &len in &[1usize, 4, 7, 8, 9, 31, 64, 129] {
+            let seed = (n * 1000 + len) as u64;
+            let x = vector(len, seed);
+            let alpha = fill_value(&mut { seed.wrapping_mul(77).wrapping_add(5) });
+            let mut got = vector(len, seed ^ 0x5a5a);
+            let mut want = got.clone();
+            f64::axpy(alpha, &x, &mut got);
+            axpy_tiled(alpha, &x, &mut want);
+            assert_vec_bits_eq(&got, &want, &format!("axpy len={len}"));
+
+            let r: Vec<Vec<f64>> = (0..4).map(|s| vector(len, seed + 100 + s as u64)).collect();
+            let coeffs = [alpha, -alpha, 0.0, fill_value(&mut { seed ^ 0x33 })];
+            let mut got4 = vector(len, seed ^ 0xbeef);
+            let mut want4 = got4.clone();
+            f64::rank4_update(coeffs, &r[0], &r[1], &r[2], &r[3], &mut got4);
+            rank4_update_tiled(coeffs, &r[0], &r[1], &r[2], &r[3], &mut want4);
+            assert_vec_bits_eq(&got4, &want4, &format!("rank4 len={len}"));
+        }
+    }
+}
+
+#[test]
+fn dispatched_sq_dist_sweep_matches_portable_and_sequential_sums_bitwise() {
+    for &dim in DIMS {
+        for &m in &[1usize, 2, 5, 8, 9, 16, 33, 100] {
+            // Transposed snapshot: feature j of reference c at refs[j][c].
+            let refs: Vec<Vec<f64>> = (0..dim).map(|j| vector(m, (dim * 31 + j) as u64)).collect();
+            let x = vector(dim, (dim + m * 7) as u64);
+            let mut got = vec![0.0; m];
+            let mut want = vec![0.0; m];
+            for (j, &xj) in x.iter().enumerate() {
+                f64::sq_dist_accum(xj, &refs[j], &mut got);
+                sq_dist_accum_tiled(xj, &refs[j], &mut want);
+            }
+            assert_vec_bits_eq(&got, &want, &format!("sq_dist dim={dim} m={m}"));
+            // The sweep reproduces the legacy per-point sequential sum.
+            for c in 0..m {
+                let seq: f64 =
+                    x.iter().enumerate().map(|(j, &xj)| (xj - refs[j][c]) * (xj - refs[j][c])).sum();
+                assert_eq!(
+                    got[c].to_bits(),
+                    seq.to_bits(),
+                    "sq_dist dim={dim} m={m} ref {c}: sweep {} vs sequential {seq}",
+                    got[c],
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // 2. Property tests: random shapes and values (with planted 0.0 / -0.0),
 //    f64 bitwise vs reference and f32 within tolerance of f64.
 // ---------------------------------------------------------------------------
@@ -253,6 +362,22 @@ proptest! {
         a.matmul_transpose_a_acc(&lhs, &mut got);
         ref_matmul_transpose_a_acc(&a, &lhs, &mut want);
         assert_bits_eq(&got, &want, "prop matmul_transpose_a_acc");
+    }
+
+    /// Whatever dispatch leg runs, the f32 serving GEMM stays bitwise on
+    /// the pinned 8-lane layout at random shapes too.
+    #[test]
+    fn prop_f32_gemm_is_bitwise_pinned(
+        m in 1usize..=12,
+        k in 1usize..=12,
+        n in 1usize..=12,
+        seed in 0u64..100000,
+    ) {
+        let a = matrix_f32(m, k, seed.wrapping_add(3));
+        let rhs = matrix_f32(n, k, seed.wrapping_add(41));
+        let mut out = Matrix::<f32>::filled(m, n, 2.5);
+        a.matmul_transpose_b_into(&rhs, &mut out);
+        assert_bits_eq_f32(&out, &ref_matmul_transpose_b_f32(&a, &rhs), "prop f32 gemm_tb");
     }
 
     /// The f32 instantiation of the serving GEMM (`matmul_transpose_b`)
