@@ -188,4 +188,14 @@ fn main() {
         ),
         Err(e) => eprintln!("warning: could not write timing artifact: {e}"),
     }
+    // Same run, projected through the workspace telemetry substrate —
+    // scrape-ready text exposition next to the JSON artifact. Announced on
+    // stderr like the timing artifact: the table on stdout stays
+    // byte-identical with telemetry compiled in.
+    let mut prom = String::new();
+    artifact.to_registry().render_prometheus(&mut prom);
+    match std::fs::write("bench_output/table3_metrics.prom", &prom) {
+        Ok(()) => eprintln!("grid metrics -> bench_output/table3_metrics.prom"),
+        Err(e) => eprintln!("warning: could not write metrics artifact: {e}"),
+    }
 }

@@ -185,6 +185,53 @@ impl TimingArtifact {
         let mut file = std::fs::File::create(path)?;
         file.write_all(self.to_json().as_bytes())
     }
+
+    /// Projects the run into a `sad_obs` registry so grid evaluations flow
+    /// through the same telemetry substrate as the serving layers: run
+    /// shape as gauges, per-root wall/train times as labelled gauges, and
+    /// a wall-time histogram over the scheduling units (roots when
+    /// present, else groups, else cells).
+    pub fn to_registry(&self) -> sad_obs::Registry {
+        use sad_obs::{with_label, Histogram, Registry};
+        let mut reg = Registry::new();
+        let jobs = reg.register_gauge("sad_grid_jobs", "Worker threads used.");
+        reg.set_gauge(jobs, self.jobs as f64);
+        let wall = reg.register_gauge("sad_grid_wall_seconds", "End-to-end grid wall time.");
+        reg.set_gauge(wall, self.wall_time.as_secs_f64());
+        let cpu = reg.register_gauge("sad_grid_cpu_seconds", "Serial-equivalent grid cost.");
+        reg.set_gauge(cpu, self.cpu_time.as_secs_f64());
+        let fits = reg.register_counter(
+            "sad_grid_initial_fits_total",
+            "fit_initial invocations across the grid.",
+        );
+        reg.inc(fits, self.roots.iter().map(|r| r.initial_fits as u64).sum());
+        let unit_wall = reg.register_histogram(
+            "sad_grid_unit_seconds",
+            "Wall time per scheduling unit (root/group/cell).",
+            Histogram::log2(1e-3, 4096.0),
+        );
+        let units: Vec<(&str, Duration, f64)> = if !self.roots.is_empty() {
+            self.roots.iter().map(|r| (r.label.as_str(), r.wall, r.train_seconds)).collect()
+        } else if !self.groups.is_empty() {
+            self.groups.iter().map(|g| (g.label.as_str(), g.wall, g.train_seconds)).collect()
+        } else {
+            self.cells.iter().map(|c| (c.label.as_str(), c.wall, c.train_seconds)).collect()
+        };
+        for (label, wall, train) in units {
+            reg.record(unit_wall, wall.as_secs_f64());
+            let w = reg.register_gauge(
+                &with_label("sad_grid_unit_wall_seconds", "unit", label),
+                "Wall time of one scheduling unit.",
+            );
+            reg.set_gauge(w, wall.as_secs_f64());
+            let t = reg.register_gauge(
+                &with_label("sad_grid_unit_train_seconds", "unit", label),
+                "Model-training share of one scheduling unit.",
+            );
+            reg.set_gauge(t, train);
+        }
+        reg
+    }
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -338,6 +385,27 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn registry_projection_tracks_scheduling_units() {
+        let reg = rooted_artifact().to_registry();
+        assert_eq!(reg.gauge_by_name("sad_grid_jobs"), Some(4.0));
+        assert_eq!(reg.counter_by_name("sad_grid_initial_fits_total"), Some(2));
+        let h = reg.histogram_by_name("sad_grid_unit_seconds").unwrap();
+        assert_eq!(h.count(), 2, "roots are the scheduling unit when present");
+        assert_eq!(
+            reg.gauge_by_name(
+                "sad_grid_unit_wall_seconds{unit=\"Online ARIMA / SW @ daphnet-like\"}"
+            ),
+            Some(1.5)
+        );
+        // Falls back to cells when no roots/groups were timed.
+        let cell_reg = artifact().to_registry();
+        assert_eq!(cell_reg.histogram_by_name("sad_grid_unit_seconds").unwrap().count(), 2);
+        let mut prom = String::new();
+        cell_reg.render_prometheus(&mut prom);
+        assert!(prom.contains("# TYPE sad_grid_unit_wall_seconds gauge"), "{prom}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::nonconformity::nonconformity;
 use crate::repr::{FeatureVector, RawWindow};
 use crate::score::{AnomalyScorer, ScorerBank};
 use crate::strategy::{SetUpdate, TrainingSetStrategy};
+use crate::telemetry::LifecycleTelemetry;
 
 /// Static configuration of a [`Detector`].
 #[derive(Debug, Clone)]
@@ -97,6 +98,9 @@ pub struct Detector {
     /// Cumulative wall time spent inside the model's training entry points
     /// (`fit_initial` at warm-up plus every drift-triggered `fine_tune`).
     train_time: std::time::Duration,
+    /// Lifecycle metric registry (warm-up, drift, fine-tune, per-step
+    /// nonconformity). Pure observation — never feeds back into detection.
+    telemetry: LifecycleTelemetry,
 }
 
 impl Detector {
@@ -117,6 +121,7 @@ impl Detector {
         );
         let repr = RawWindow::new(config.window, config.channels);
         let scratch = FeatureVector::zeroed(config.window, config.channels);
+        let telemetry = LifecycleTelemetry::new(drift.name());
         Self {
             config,
             repr,
@@ -131,6 +136,7 @@ impl Detector {
             drift_times: Vec::new(),
             fine_tunes: 0,
             train_time: std::time::Duration::ZERO,
+            telemetry,
         }
     }
 
@@ -222,6 +228,7 @@ impl Detector {
                 self.train_time += started.elapsed();
                 self.drift.on_fine_tune(self.strategy.training_set());
                 self.warmed_up = true;
+                self.telemetry.on_warmup_complete();
             }
             return false;
         }
@@ -261,6 +268,7 @@ impl Detector {
         self.mid_step = false;
         let t = self.t - 1;
         let a_t = nonconformity(&self.scratch, output);
+        self.telemetry.record_step(a_t);
         let f_t = self.scorer.update(a_t);
         if let Some((bank, out)) = bank {
             bank.update_into(a_t, out);
@@ -273,6 +281,7 @@ impl Detector {
         let mut fine_tuned = false;
         if drift {
             self.drift_times.push(t);
+            self.telemetry.on_drift();
             let started = std::time::Instant::now();
             for _ in 0..self.config.fine_tune_epochs {
                 self.model.fine_tune(self.strategy.training_set());
@@ -285,6 +294,7 @@ impl Detector {
             fine_tuned = self.config.fine_tune_epochs > 0;
             if fine_tuned {
                 self.fine_tunes += 1;
+                self.telemetry.on_fine_tune();
             }
         }
         StepOutput { t, nonconformity: a_t, anomaly_score: f_t, drift, fine_tuned }
@@ -451,6 +461,27 @@ impl Detector {
         self.drift.ops()
     }
 
+    /// Training-set removals the Task-2 detector could not honor (KSWIN
+    /// only — see [`DriftDetector::removal_misses`]). Non-zero flags a
+    /// Task-1 strategy bug.
+    pub fn drift_removal_misses(&self) -> u64 {
+        self.drift.removal_misses()
+    }
+
+    /// The detector's lifecycle telemetry (read-only).
+    pub fn telemetry(&self) -> &LifecycleTelemetry {
+        &self.telemetry
+    }
+
+    /// Snapshots the full per-detector metric registry: the lifecycle
+    /// registry plus `sad_detector_removal_misses_total` and
+    /// `sad_detector_train_seconds`. Snapshots of any two detectors merge
+    /// via [`sad_obs::Registry::merge_from`] (the schema is shared across
+    /// Task-2 variants). Allocates — export path only.
+    pub fn export_metrics(&self) -> sad_obs::Registry {
+        self.telemetry.snapshot(self.drift.removal_misses(), self.train_time)
+    }
+
     /// Component names as `(model, task1, task2, scorer)` for reports.
     pub fn component_names(&self) -> (&'static str, &'static str, &'static str, &'static str) {
         (self.model.name(), self.strategy.name(), self.drift.name(), self.scorer.name())
@@ -569,6 +600,12 @@ impl SharedWarmup {
     /// # Panics
     /// Panics if `variant >= self.variants()`.
     pub fn fork(&self, variant: usize, scorer: Box<dyn AnomalyScorer>) -> Detector {
+        let mut telemetry = LifecycleTelemetry::new(self.drifts[variant].name());
+        if self.warmed_up {
+            // The shared warm-up + initial fit belong to every fork's
+            // lifecycle, same as the shared `train_time` below.
+            telemetry.on_warmup_complete();
+        }
         Detector {
             config: self.config.clone(),
             repr: self.repr.clone(),
@@ -583,6 +620,7 @@ impl SharedWarmup {
             drift_times: Vec::new(),
             fine_tunes: 0,
             train_time: self.train_time,
+            telemetry,
         }
     }
 

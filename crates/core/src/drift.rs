@@ -40,6 +40,15 @@ pub trait DriftDetector: Send {
     /// Cumulative arithmetic-operation tally (Table II instrumentation).
     fn ops(&self) -> OpCount;
 
+    /// How many training-set removals could not be honored because the
+    /// value was absent from the detector's internal state. Only
+    /// [`KswinDetector`] maintains removable state, so the default is 0;
+    /// a non-zero count flags a Task-1 strategy bug (surfaced through the
+    /// telemetry registry as `sad_detector_removal_misses_total`).
+    fn removal_misses(&self) -> u64 {
+        0
+    }
+
     /// Clones the detector behind the trait object.
     fn clone_box(&self) -> Box<dyn DriftDetector>;
 }
@@ -319,6 +328,10 @@ impl KswinDetector {
 impl DriftDetector for KswinDetector {
     fn name(&self) -> &'static str {
         "KS"
+    }
+
+    fn removal_misses(&self) -> u64 {
+        self.removal_misses
     }
 
     fn observe(&mut self, x: &FeatureVector, update: &SetUpdate, _train: &[FeatureVector]) -> bool {

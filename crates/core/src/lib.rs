@@ -34,6 +34,7 @@ pub mod registry;
 pub mod repr;
 pub mod score;
 pub mod strategy;
+pub mod telemetry;
 
 pub use detector::{Detector, DetectorConfig, FanoutRun, SharedWarmup, StepOutput};
 pub use drift::{DriftDetector, KswinDetector, MuSigmaChange, RegularInterval};
@@ -45,3 +46,4 @@ pub use score::{AnomalyLikelihood, AnomalyScorer, MovingAverage, RawScore, Score
 pub use strategy::{
     AnomalyAwareReservoir, SetUpdate, SlidingWindowSet, TrainingSetStrategy, UniformReservoir,
 };
+pub use telemetry::LifecycleTelemetry;

@@ -36,9 +36,23 @@
 //! (the PR 1 scoped-thread pattern). Outputs are always scattered back
 //! into stream-id order, so results are byte-identical across shard
 //! counts and parallelism settings.
+//!
+//! ## Telemetry
+//!
+//! Each shard owns a `sad_obs` metric registry (shard-local — no atomics,
+//! matching the disjoint-state model): serving counters, a queue-depth
+//! high-water gauge, and batch-width / round-latency histograms. Every
+//! recording call in the drain loop is zero-alloc (the steady-state
+//! allocation guard runs with telemetry on), and nothing observed feeds
+//! back into detection. [`DetectorFleet::stats`] is a snapshot of those
+//! counters; [`DetectorFleet::export_metrics`] merges the shard
+//! registries with the per-detector lifecycle aggregate for the
+//! Prometheus/JSON sinks. `FleetConfig::telemetry` gates only the clock
+//! reads and the queue sweep (the measured overhead knob).
 
 use sad_core::{Detector, ModelOutput, StepOutput};
 use sad_models::{batch_arch_key, infer_state_equal, ArchKey, InferBatch, InferBatchF32};
+use sad_obs::{CounterId, GaugeId, Histogram, HistogramId, Registry};
 
 /// Static configuration of a [`DetectorFleet`].
 #[derive(Debug, Clone)]
@@ -63,16 +77,30 @@ pub struct FleetConfig {
     /// on the same dirty-on-training-event hook that rebuilds cohorts.
     /// Requires `batching`; off by default (the parity-proof default).
     pub f32_infer: bool,
+    /// Enables the timed/shape telemetry: per-round latency histograms,
+    /// queue-depth high-water marks, and batch-width histograms. The
+    /// serving counters behind [`DetectorFleet::stats`] are maintained
+    /// regardless (they cost a handful of zero-alloc integer adds); this
+    /// flag only gates the clock reads and the per-slot queue sweep, which
+    /// is what the `obs_overhead` bench compares. On by default.
+    pub telemetry: bool,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { shards: 1, batching: true, parallel: false, queue_capacity: 64, f32_infer: false }
+        Self {
+            shards: 1,
+            batching: true,
+            parallel: false,
+            queue_capacity: 64,
+            f32_infer: false,
+            telemetry: true,
+        }
     }
 }
 
-/// Cumulative serving counters (summed over shards by
-/// [`DetectorFleet::stats`]).
+/// Cumulative serving counters — a snapshot derived from the per-shard
+/// metric registries by [`DetectorFleet::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FleetStats {
     /// Detector steps completed (warm-up steps included).
@@ -89,6 +117,84 @@ pub struct FleetStats {
     pub f32_rows: usize,
     /// Cohort rebuilds triggered by training events.
     pub cohort_rebuilds: usize,
+    /// f32 weight-snapshot re-syncs performed by those rebuilds (0 unless
+    /// `FleetConfig::f32_infer`).
+    pub f32_resyncs: usize,
+}
+
+/// A shard's metric registry plus the preregistered handles its hot loop
+/// records through. Built once per shard; every recording call in
+/// [`Shard::round`] is zero-alloc by the `sad_obs` registry contract (the
+/// shard's steady-state allocation guard runs with these live).
+struct ShardMetrics {
+    reg: Registry,
+    steps: CounterId,
+    scalar_steps: CounterId,
+    batched_rows: CounterId,
+    batches: CounterId,
+    f32_rows: CounterId,
+    cohort_rebuilds: CounterId,
+    f32_resyncs: CounterId,
+    queue_high_water: GaugeId,
+    batch_rows: HistogramId,
+    round_seconds: HistogramId,
+}
+
+impl ShardMetrics {
+    fn new() -> Self {
+        let mut reg = Registry::new();
+        let steps =
+            reg.register_counter("sad_fleet_steps_total", "Detector steps served (all paths).");
+        let scalar_steps = reg.register_counter(
+            "sad_fleet_scalar_steps_total",
+            "Steps served through the scalar per-stream path.",
+        );
+        let batched_rows = reg.register_counter(
+            "sad_fleet_batched_rows_total",
+            "Steps served through a shared batched forward pass.",
+        );
+        let batches = reg
+            .register_counter("sad_fleet_batches_total", "Shared batched forward passes executed.");
+        let f32_rows = reg.register_counter(
+            "sad_fleet_f32_rows_total",
+            "Batched rows served through an f32 weight snapshot.",
+        );
+        let cohort_rebuilds = reg.register_counter(
+            "sad_fleet_cohort_rebuilds_total",
+            "Cohort rebuilds triggered by training events.",
+        );
+        let f32_resyncs = reg.register_counter(
+            "sad_fleet_f32_resyncs_total",
+            "f32 weight-snapshot re-syncs performed by cohort rebuilds.",
+        );
+        let queue_high_water = reg.register_gauge(
+            "sad_fleet_queue_high_water",
+            "Deepest per-stream input queue observed at a round start.",
+        );
+        let batch_rows = reg.register_histogram(
+            "sad_fleet_batch_rows",
+            "Rows amortized per shared forward pass.",
+            Histogram::log2(1.0, 4096.0),
+        );
+        let round_seconds = reg.register_histogram(
+            "sad_fleet_round_seconds",
+            "Shard round latency (rounds that served at least one step).",
+            Histogram::log2(1e-6, 16.0),
+        );
+        Self {
+            reg,
+            steps,
+            scalar_steps,
+            batched_rows,
+            batches,
+            f32_rows,
+            cohort_rebuilds,
+            f32_resyncs,
+            queue_high_water,
+            batch_rows,
+            round_seconds,
+        }
+    }
 }
 
 /// Fixed-capacity ring queue of `n`-channel stream vectors. Steady-state
@@ -189,11 +295,13 @@ struct Shard {
     groups: Vec<ArchGroup>,
     batching: bool,
     f32_infer: bool,
-    stats: FleetStats,
+    /// Gates the timed/shape telemetry (see [`FleetConfig::telemetry`]).
+    telemetry: bool,
+    metrics: ShardMetrics,
 }
 
 impl Shard {
-    fn new(batching: bool, f32_infer: bool) -> Self {
+    fn new(batching: bool, f32_infer: bool, telemetry: bool) -> Self {
         Self {
             slots: Vec::new(),
             out_bufs: Vec::new(),
@@ -201,7 +309,8 @@ impl Shard {
             groups: Vec::new(),
             batching,
             f32_infer,
-            stats: FleetStats::default(),
+            telemetry,
+            metrics: ShardMetrics::new(),
         }
     }
 
@@ -257,7 +366,7 @@ impl Shard {
     /// parameter comparison against each cohort's first member. O(k·c)
     /// comparisons for k members and c cohorts — and it only runs on
     /// training events, never in the per-step hot path.
-    fn rebuild_cohorts(group: &mut ArchGroup, slots: &[StreamSlot]) {
+    fn rebuild_cohorts(group: &mut ArchGroup, slots: &[StreamSlot]) -> usize {
         group.n_cohorts = 0;
         for i in 0..group.members.len() {
             let model = slots[group.members[i]].det.model();
@@ -284,6 +393,7 @@ impl Shard {
         // rounds stay zero-alloc. Cohort ids shuffle across rebuilds;
         // slot `c` is simply re-synced from the *new* cohort `c`'s leader
         // (same architecture by the group invariant).
+        let mut resyncs = 0;
         if group.f32_infer {
             let capacity = group.batch.capacity();
             for c in 0..group.n_cohorts {
@@ -298,15 +408,30 @@ impl Shard {
                         InferBatchF32::new(leader, capacity).expect("grouped models are batchable"),
                     );
                 }
+                resyncs += 1;
             }
             group.f32_batches.truncate(group.n_cohorts);
         }
         group.dirty = false;
+        resyncs
     }
 
     /// Serves one round: each stream with queued input advances exactly
     /// one step. Results land in `self.outs` (slot order).
     fn round(&mut self) {
+        // Timed/shape telemetry: clock reads and the queue-depth sweep are
+        // the only per-round costs the flag adds — every recording call
+        // below them is zero-alloc indexed arithmetic.
+        let started = self.telemetry.then(std::time::Instant::now);
+        if self.telemetry {
+            for slot in &self.slots {
+                self.metrics
+                    .reg
+                    .gauge_max(self.metrics.queue_high_water, slot.queue.len() as f64);
+            }
+        }
+        let steps_before = self.metrics.reg.counter(self.metrics.steps);
+
         for out in &mut self.outs {
             *out = None;
         }
@@ -322,8 +447,8 @@ impl Shard {
             let out = slot.det.step(s);
             slot.queue.pop_front();
             self.outs[i] = out;
-            self.stats.steps += 1;
-            self.stats.scalar_steps += 1;
+            self.metrics.reg.inc(self.metrics.steps, 1);
+            self.metrics.reg.inc(self.metrics.scalar_steps, 1);
             // Batching eligibility is decided once the model has fitted
             // (networks materialize at the warm-up fit).
             if self.batching && !self.slots[i].eligibility_checked && self.slots[i].det.is_warmed_up()
@@ -334,11 +459,12 @@ impl Shard {
         }
 
         // ---- Batched path, one arch group at a time.
-        let Shard { slots, out_bufs, outs, groups, stats, .. } = self;
+        let Shard { slots, out_bufs, outs, groups, telemetry, metrics, .. } = self;
         for group in groups.iter_mut() {
             if group.dirty {
-                Self::rebuild_cohorts(group, slots);
-                stats.cohort_rebuilds += 1;
+                let resyncs = Self::rebuild_cohorts(group, slots);
+                metrics.reg.inc(metrics.cohort_rebuilds, 1);
+                metrics.reg.inc(metrics.f32_resyncs, resyncs as u64);
             }
             // begin_step every member with input; all are post-warm-up, so
             // every begin yields a feature vector.
@@ -383,7 +509,7 @@ impl Shard {
                         let si = group.members[pos];
                         batch.emit_into(row, &mut out_bufs[si]);
                     }
-                    stats.f32_rows += rows;
+                    metrics.reg.inc(metrics.f32_rows, rows as u64);
                 } else {
                     group.batch.begin(rows);
                     for (row, &pos) in group.cohort_rows.iter().enumerate() {
@@ -411,10 +537,23 @@ impl Shard {
                         group.dirty = true;
                     }
                     outs[si] = Some(out);
-                    stats.steps += 1;
-                    stats.batched_rows += 1;
+                    metrics.reg.inc(metrics.steps, 1);
+                    metrics.reg.inc(metrics.batched_rows, 1);
                 }
-                stats.batches += 1;
+                metrics.reg.inc(metrics.batches, 1);
+                if *telemetry {
+                    metrics.reg.record(metrics.batch_rows, rows as f64);
+                }
+            }
+        }
+
+        // Round latency covers rounds that actually served a step — an
+        // idle drain would otherwise drag the percentiles toward zero.
+        if let Some(started) = started {
+            if self.metrics.reg.counter(self.metrics.steps) > steps_before {
+                self.metrics
+                    .reg
+                    .record(self.metrics.round_seconds, started.elapsed().as_secs_f64());
             }
         }
     }
@@ -447,7 +586,9 @@ impl DetectorFleet {
         let n_streams = detectors.len();
         let n_shards = config.shards.min(n_streams);
         let mut shards: Vec<Shard> = (0..n_shards)
-            .map(|_| Shard::new(config.batching, config.batching && config.f32_infer))
+            .map(|_| {
+                Shard::new(config.batching, config.batching && config.f32_infer, config.telemetry)
+            })
             .collect();
         for (id, det) in detectors.into_iter().enumerate() {
             shards[id % n_shards].push_stream(id, det, config.queue_capacity);
@@ -545,19 +686,55 @@ impl DetectorFleet {
         &self.shards[stream % n_shards].slots[stream / n_shards].det
     }
 
-    /// Cumulative serving counters, summed over shards.
+    /// Cumulative serving counters — a snapshot of the per-shard metric
+    /// registries, summed over shards.
     pub fn stats(&self) -> FleetStats {
         let mut total = FleetStats::default();
         for shard in &self.shards {
-            let s = &shard.stats;
-            total.steps += s.steps;
-            total.scalar_steps += s.scalar_steps;
-            total.batched_rows += s.batched_rows;
-            total.batches += s.batches;
-            total.f32_rows += s.f32_rows;
-            total.cohort_rebuilds += s.cohort_rebuilds;
+            let m = &shard.metrics;
+            total.steps += m.reg.counter(m.steps) as usize;
+            total.scalar_steps += m.reg.counter(m.scalar_steps) as usize;
+            total.batched_rows += m.reg.counter(m.batched_rows) as usize;
+            total.batches += m.reg.counter(m.batches) as usize;
+            total.f32_rows += m.reg.counter(m.f32_rows) as usize;
+            total.cohort_rebuilds += m.reg.counter(m.cohort_rebuilds) as usize;
+            total.f32_resyncs += m.reg.counter(m.f32_resyncs) as usize;
         }
         total
+    }
+
+    /// Exports the fleet's full metric registry: the per-shard serving
+    /// registries folded together (counters add, the queue high-water
+    /// gauge takes the max, latency/batch-width histograms merge
+    /// bucket-wise), the aggregated per-detector lifecycle registries, and
+    /// two fleet-shape gauges (`sad_fleet_streams`, `sad_fleet_shards`).
+    /// Allocates — export path only, never called from `drain_round`.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = self.shards[0].metrics.reg.clone();
+        for shard in &self.shards[1..] {
+            reg.merge_from(&shard.metrics.reg);
+        }
+        let streams = reg.register_gauge("sad_fleet_streams", "Streams served by this fleet.");
+        reg.set_gauge(streams, self.n_streams as f64);
+        let shards = reg.register_gauge("sad_fleet_shards", "Worker shards.");
+        reg.set_gauge(shards, self.shards.len() as f64);
+
+        // Detector lifecycle aggregate: every detector's snapshot shares
+        // one schema, so they fold into a single population registry.
+        let mut lifecycle: Option<Registry> = None;
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                let snap = slot.det.export_metrics();
+                match &mut lifecycle {
+                    None => lifecycle = Some(snap),
+                    Some(acc) => acc.merge_from(&snap),
+                }
+            }
+        }
+        if let Some(lifecycle) = lifecycle {
+            reg.absorb(&lifecycle);
+        }
+        reg
     }
 
     /// The fleet configuration.
@@ -659,5 +836,47 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn empty_fleet_panics() {
         let _ = DetectorFleet::new(Vec::new(), FleetConfig::default());
+    }
+
+    /// The exported registry agrees with the `stats()` snapshot, carries
+    /// the fleet-shape gauges and the detector lifecycle aggregate, and
+    /// its round-latency histogram saw every non-idle round.
+    #[test]
+    fn export_metrics_matches_stats_and_aggregates_lifecycle() {
+        let fleet_series = vec![series(140, 0.0), series(140, 0.25)];
+        let config = FleetConfig { shards: 2, ..FleetConfig::default() };
+        let mut fleet = DetectorFleet::new(vec![ae_detector(7), ae_detector(8)], config);
+        let _ = fleet.run(&fleet_series);
+        let stats = fleet.stats();
+        let reg = fleet.export_metrics();
+        assert_eq!(reg.counter_by_name("sad_fleet_steps_total"), Some(stats.steps as u64));
+        assert_eq!(
+            reg.counter_by_name("sad_fleet_scalar_steps_total"),
+            Some(stats.scalar_steps as u64)
+        );
+        assert_eq!(
+            reg.counter_by_name("sad_fleet_batched_rows_total"),
+            Some(stats.batched_rows as u64)
+        );
+        assert_eq!(reg.gauge_by_name("sad_fleet_streams"), Some(2.0));
+        assert_eq!(reg.gauge_by_name("sad_fleet_shards"), Some(2.0));
+        assert!(reg.gauge_by_name("sad_fleet_queue_high_water").unwrap() >= 1.0);
+        let latency = reg.histogram_by_name("sad_fleet_round_seconds").unwrap();
+        assert!(latency.count() > 0, "timed rounds were recorded");
+        // Lifecycle aggregate: both detectors warmed up and stepped.
+        assert_eq!(reg.counter_by_name("sad_detector_warmup_completions_total"), Some(2));
+        assert_eq!(reg.counter_by_name("sad_detector_steps_total"), Some(160));
+        assert_eq!(
+            reg.histogram_by_name("sad_detector_nonconformity").unwrap().count(),
+            160
+        );
+        // Telemetry off: counters still flow, timed telemetry stays empty.
+        let quiet_cfg = FleetConfig { telemetry: false, ..FleetConfig::default() };
+        let mut quiet = DetectorFleet::new(vec![ae_detector(7)], quiet_cfg);
+        let _ = quiet.run(&[series(120, 0.0)]);
+        let qreg = quiet.export_metrics();
+        assert_eq!(qreg.counter_by_name("sad_fleet_steps_total"), Some(120));
+        assert_eq!(qreg.histogram_by_name("sad_fleet_round_seconds").unwrap().count(), 0);
+        assert_eq!(qreg.gauge_by_name("sad_fleet_queue_high_water"), Some(0.0));
     }
 }

@@ -127,7 +127,7 @@ fn mixed_fleet_matches_standalone_detectors_at_all_shard_counts() {
                 let label = format!("shards={shards} batching={batching} parallel={parallel}");
                 let dets: Vec<Detector> =
                     streams.iter().map(|&(idx, expect, seed, _)| detector(idx, expect, seed)).collect();
-                let config = FleetConfig { shards, batching, parallel, queue_capacity: 4, f32_infer: false };
+                let config = FleetConfig { shards, batching, parallel, queue_capacity: 4, ..FleetConfig::default() };
                 let mut fleet = DetectorFleet::new(dets, config);
                 let traces = fleet.run(&fleet_series);
                 for (i, (ref_trace, ref_det)) in references.iter().enumerate() {
@@ -218,7 +218,7 @@ mod props {
 
             let dets: Vec<Detector> =
                 streams.iter().map(|&(idx, expect, seed)| detector(idx, expect, seed)).collect();
-            let config = FleetConfig { shards, batching, parallel: false, queue_capacity: 4, f32_infer: false };
+            let config = FleetConfig { shards, batching, parallel: false, queue_capacity: 4, ..FleetConfig::default() };
             let mut fleet = DetectorFleet::new(dets, config);
             let traces = fleet.run(&fleet_series);
 

@@ -1,0 +1,105 @@
+//! Property tests for the shard-local-merge model: no observation is lost
+//! or double-counted when K shard registries fold into one accumulator.
+
+use proptest::collection;
+use proptest::prelude::*;
+use sad_obs::{CounterId, GaugeId, Histogram, HistogramId, Registry};
+
+/// Builds one shard's registry with the shared schema, returning the
+/// recording handles alongside it.
+fn shard_registry() -> (Registry, CounterId, GaugeId, HistogramId) {
+    let mut reg = Registry::new();
+    let c = reg.register_counter("steps_total", "steps");
+    let g = reg.register_gauge("queue_high_water", "depth");
+    let h = reg.register_histogram("scores", "a_t", Histogram::linear(0.0, 1.0, 16));
+    (reg, c, g, h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Recorded-count == observed-count across a merge of shard-local
+    /// registries: the merged histogram's total count and bucket-sum both
+    /// equal the number of observations recorded across all shards, the
+    /// merged counter is the sum of per-shard counters, and the merged
+    /// gauge is the per-shard maximum (high-water semantics).
+    #[test]
+    fn merge_preserves_every_observation(
+        shards in collection::vec(collection::vec(0.0f64..1.5f64, 0..200), 1..6)
+    ) {
+        let (mut merged, ..) = shard_registry();
+        let mut total_obs = 0u64;
+        let mut max_gauge = 0.0f64;
+        let mut sum = 0.0f64;
+        for values in &shards {
+            let (mut reg, c, g, h) = shard_registry();
+            for &v in values {
+                reg.inc(c, 1);
+                reg.gauge_max(g, v * 10.0);
+                reg.record(h, v);
+                total_obs += 1;
+                sum += v;
+                if v * 10.0 > max_gauge {
+                    max_gauge = v * 10.0;
+                }
+            }
+            merged.merge_from(&reg);
+        }
+        let h = merged.histogram_by_name("scores").unwrap();
+        prop_assert_eq!(h.count(), total_obs);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), total_obs);
+        prop_assert_eq!(merged.counter_by_name("steps_total"), Some(total_obs));
+        let g = merged.gauge_by_name("queue_high_water").unwrap();
+        prop_assert!((g - max_gauge).abs() < 1e-12);
+        prop_assert!((h.sum() - sum).abs() <= 1e-9 * (1.0 + sum.abs()));
+    }
+
+    /// Merging shard-by-shard equals merging in one different order — the
+    /// fold is order-insensitive for counters and histogram counts.
+    #[test]
+    fn merge_is_order_insensitive(
+        a in collection::vec(0.0f64..1.0f64, 0..100),
+        b in collection::vec(0.0f64..1.0f64, 0..100),
+    ) {
+        let fill = |values: &[f64]| {
+            let (mut reg, c, g, h) = shard_registry();
+            for &v in values {
+                reg.inc(c, 1);
+                reg.gauge_max(g, v);
+                reg.record(h, v);
+            }
+            reg
+        };
+        let (ra, rb) = (fill(&a), fill(&b));
+        let mut ab = ra.clone();
+        ab.merge_from(&rb);
+        let mut ba = rb.clone();
+        ba.merge_from(&ra);
+        prop_assert_eq!(ab.counter_by_name("steps_total"), ba.counter_by_name("steps_total"));
+        prop_assert_eq!(ab.gauge_by_name("queue_high_water"), ba.gauge_by_name("queue_high_water"));
+        prop_assert_eq!(
+            ab.histogram_by_name("scores").unwrap().counts(),
+            ba.histogram_by_name("scores").unwrap().counts()
+        );
+    }
+
+    /// Histogram quantiles always land inside the observed [min, max] and
+    /// are monotone in q, regardless of the sample.
+    #[test]
+    fn quantiles_stay_in_observed_range_and_are_monotone(
+        values in collection::vec(0.0f64..4.0f64, 1..300)
+    ) {
+        let mut h = Histogram::log2(1e-3, 4.0);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            prop_assert!(est >= h.min() && est <= h.max(),
+                "quantile({}) = {} outside [{}, {}]", q, est, h.min(), h.max());
+            prop_assert!(est >= prev, "quantile not monotone at q={}", q);
+            prev = est;
+        }
+    }
+}

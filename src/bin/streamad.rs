@@ -18,6 +18,12 @@
 //! all N detectors fit identical weights and the cross-stream batched NN
 //! path engages. Reports serving throughput and round-latency percentiles
 //! instead of detections.
+//!
+//! `--metrics-json PATH` writes the run's telemetry registry (detector
+//! lifecycle counters; in `--fleet` mode also the per-shard serving
+//! counters and latency histograms) as a JSON snapshot on exit, and
+//! `--metrics-every N` prints a compact metrics line to stderr every `N`
+//! fleet rounds.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -28,6 +34,7 @@ use streamad::data::LabeledSeries;
 use streamad::fleet::{DetectorFleet, FleetConfig};
 use streamad::metrics::{best_f1, intervals_from_labels, nab_score, pr_auc, vus_pr};
 use streamad::models::{build_detector, BuildParams};
+use streamad::obs::{Histogram, Registry};
 
 struct Args {
     path: Option<String>,
@@ -43,6 +50,8 @@ struct Args {
     shards: usize,
     no_batch: bool,
     f32_infer: bool,
+    metrics_json: Option<String>,
+    metrics_every: Option<usize>,
 }
 
 fn score_name(score: ScoreKind) -> &'static str {
@@ -85,6 +94,8 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         no_batch: false,
         f32_infer: false,
+        metrics_json: None,
+        metrics_every: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -124,6 +135,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-batch" => args.no_batch = true,
             "--f32-infer" => args.f32_infer = true,
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
+            "--metrics-every" => {
+                let n: usize = value("--metrics-every")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-every: {e}"))?;
+                if n == 0 {
+                    return Err("--metrics-every must be positive".into());
+                }
+                args.metrics_every = Some(n);
+            }
             "--score" => {
                 args.score = match value("--score")?.as_str() {
                     "raw" => ScoreKind::Raw,
@@ -135,7 +156,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: streamad <csv> [--algo N] [--window W] [--warmup N] \
                             [--capacity M] [--score raw|avg|al] [--threshold T] [--seed S] \
-                            [--fleet N [--shards S] [--no-batch] [--f32-infer]] [--list]"
+                            [--fleet N [--shards S] [--no-batch] [--f32-infer] \
+                            [--metrics-every N]] [--metrics-json PATH] [--list]"
                     .into())
             }
             other if !other.starts_with('-') && args.path.is_none() => {
@@ -232,6 +254,20 @@ fn main() -> ExitCode {
         println!("  (none)");
     }
     eprintln!("fine-tune sessions: {}", detector.fine_tune_count());
+    eprintln!(
+        "drift state: {} drift event(s){}, {} removal miss(es)",
+        detector.drift_times().len(),
+        match detector.drift_times() {
+            [] => String::new(),
+            times => format!(" at t = {times:?}"),
+        },
+        detector.drift_removal_misses(),
+    );
+    if let Some(path) = &args.metrics_json {
+        if !write_metrics_json(path, &detector.export_metrics()) {
+            return ExitCode::FAILURE;
+        }
+    }
 
     // If the file carries ground truth, report metrics.
     let labels = &series.labels[offset..];
@@ -264,12 +300,32 @@ fn jitter(i: usize, t: usize, c: usize) -> f64 {
     ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2e-3
 }
 
-fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+/// Round-latency histogram for the CLI report: log-scale from 1 µs to 16 s
+/// at quarter-octave resolution (bounds grow by 2^¼ ≈ 19%), fine enough
+/// that the interpolated p50/p99 track exact sorted-sample percentiles.
+fn latency_histogram() -> Histogram {
+    let mut bounds = vec![1e-6];
+    while *bounds.last().unwrap() < 16.0 {
+        bounds.push(bounds.last().unwrap() * std::f64::consts::SQRT_2.sqrt());
     }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    Histogram::new(bounds)
+}
+
+/// Writes a registry snapshot as JSON to `path`; reports failure on stderr
+/// and returns `false` so callers can exit non-zero.
+fn write_metrics_json(path: &str, reg: &Registry) -> bool {
+    let mut json = String::new();
+    reg.render_json(&mut json);
+    match std::fs::write(path, &json) {
+        Ok(()) => {
+            eprintln!("metrics -> {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            false
+        }
+    }
 }
 
 /// `--fleet N`: fan the series into `N` streams (stream 0 verbatim, the
@@ -306,12 +362,17 @@ fn run_fleet(args: &Args, spec: AlgorithmSpec, series: &LabeledSeries, n: usize)
         parallel: false,
         queue_capacity: 4,
         f32_infer: args.f32_infer,
+        telemetry: true,
     };
     let mut fleet = DetectorFleet::new(detectors, fleet_config);
 
     let mut out = Vec::new();
     let mut buf = vec![0.0; series.channels()];
-    let mut round_ns: Vec<u64> = Vec::with_capacity(series.len());
+    // Round latency measured at the CLI boundary (enqueue excluded) through
+    // the shared histogram type — p50/p99 come from the same interpolation
+    // the fleet's own per-shard round histograms use.
+    let mut latency = latency_histogram();
+    let mut total_ns = 0u64;
     for (t, s) in series.data.iter().enumerate() {
         for i in 0..n {
             for (c, &v) in s.iter().enumerate() {
@@ -321,23 +382,53 @@ fn run_fleet(args: &Args, spec: AlgorithmSpec, series: &LabeledSeries, n: usize)
         }
         let start = Instant::now();
         fleet.drain_round(&mut out);
-        round_ns.push(start.elapsed().as_nanos() as u64);
+        let elapsed = start.elapsed();
+        latency.record(elapsed.as_secs_f64());
+        total_ns += elapsed.as_nanos() as u64;
+        if let Some(every) = args.metrics_every {
+            if (t + 1) % every == 0 {
+                let s = fleet.stats();
+                eprintln!(
+                    "[metrics] round {}: {} steps, {} batched rows, {} rebuilds, \
+                     p50 {:.1} us, p99 {:.1} us",
+                    t + 1,
+                    s.steps,
+                    s.batched_rows,
+                    s.cohort_rebuilds,
+                    latency.quantile(0.50) * 1e6,
+                    latency.quantile(0.99) * 1e6,
+                );
+            }
+        }
     }
 
     let stats = fleet.stats();
-    let total_ns: u64 = round_ns.iter().sum();
     let steps_per_sec = stats.steps as f64 / (total_ns.max(1) as f64 / 1e9);
-    round_ns.sort_unstable();
     println!(
         "served {} detector steps: {} batched rows in {} shared passes ({} f32), {} scalar",
         stats.steps, stats.batched_rows, stats.batches, stats.f32_rows, stats.scalar_steps,
     );
     println!("cohort rebuilds: {}", stats.cohort_rebuilds);
-    println!("throughput: {:.0} steps/s over {} rounds", steps_per_sec, round_ns.len());
+    println!("throughput: {:.0} steps/s over {} rounds", steps_per_sec, latency.count());
     println!(
         "round latency: p50 {:.1} us, p99 {:.1} us",
-        percentile_ns(&round_ns, 0.50) as f64 / 1e3,
-        percentile_ns(&round_ns, 0.99) as f64 / 1e3,
+        latency.quantile(0.50) * 1e6,
+        latency.quantile(0.99) * 1e6,
     );
+    if let Some(path) = &args.metrics_json {
+        // Fleet serving + aggregated detector lifecycle, plus the
+        // CLI-boundary round latency under its own name.
+        let mut reg = fleet.export_metrics();
+        let mut cli = Registry::new();
+        cli.register_histogram(
+            "sad_cli_round_seconds",
+            "drain_round latency measured at the CLI boundary.",
+            latency,
+        );
+        reg.absorb(&cli);
+        if !write_metrics_json(path, &reg) {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

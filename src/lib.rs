@@ -34,6 +34,7 @@
 //! | [`models`] | online ARIMA, VAR, PCB-iForest, 2-layer AE, USAD, N-BEATS + the spec→detector builder |
 //! | [`fleet`] | multi-stream serving: the sharded [`fleet::DetectorFleet`] with cross-stream batched NN stepping |
 //! | [`metrics`] | range precision/recall, PR-AUC, NAB, VUS |
+//! | [`obs`] | zero-alloc telemetry substrate: metric registry, histograms, Prometheus/JSON exporters |
 //! | [`data`] | synthetic Daphnet/Exathlon/SMD-like corpora, injectors, CSV I/O |
 //! | [`forest`] | extended isolation forest substrate |
 //! | [`nn`] | hand-rolled MLP substrate with verified backprop |
@@ -47,5 +48,6 @@ pub use sad_forest as forest;
 pub use sad_metrics as metrics;
 pub use sad_models as models;
 pub use sad_nn as nn;
+pub use sad_obs as obs;
 pub use sad_stats as stats;
 pub use sad_tensor as tensor;

@@ -121,6 +121,58 @@ fn fleet_f32_infer_serves_batched_rows_through_snapshots() {
 }
 
 #[test]
+fn fleet_metrics_json_counts_every_step_and_periodic_report_hits_stderr() {
+    let csv = write_csv("metrics", 220);
+    let json_path = std::env::temp_dir()
+        .join(format!("streamad-cli-smoke-metrics-{}.json", std::process::id()));
+    let out = streamad()
+        .arg(&csv)
+        .args(["--algo", "6", "--window", "6", "--warmup", "80", "--capacity", "16"])
+        .args(["--fleet", "6", "--shards", "2"])
+        .args(["--metrics-json", json_path.to_str().unwrap(), "--metrics-every", "100"])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&csv).ok();
+    let json = std::fs::read_to_string(&json_path).expect("--metrics-json wrote the snapshot");
+    std::fs::remove_file(&json_path).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // 220 steps x 6 streams through the per-shard serving registries.
+    assert!(json.contains("\"sad_fleet_steps_total\": 1320"), "step counter: {json}");
+    // Aggregated detector lifecycle rides along in the same snapshot —
+    // lifecycle steps count scored steps only: 6 x (220 - 80 warm-up).
+    assert!(json.contains("\"sad_detector_steps_total\": 840"), "lifecycle counter: {json}");
+    assert!(json.contains("\"sad_detector_warmup_completions_total\": 6"), "warm-ups: {json}");
+    assert!(json.contains("\"sad_cli_round_seconds\""), "CLI latency histogram: {json}");
+    // 220 rounds with --metrics-every 100 → reports at rounds 100 and 200.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("[metrics] round 100:"), "periodic report: {stderr}");
+    assert!(stderr.contains("[metrics] round 200:"), "periodic report: {stderr}");
+    assert!(!stderr.contains("[metrics] round 220:"), "only every Nth round reports: {stderr}");
+}
+
+#[test]
+fn single_run_metrics_json_exports_lifecycle_and_stderr_shows_drift_state() {
+    let csv = write_csv("runmetrics", 320);
+    let json_path = std::env::temp_dir()
+        .join(format!("streamad-cli-smoke-runmetrics-{}.json", std::process::id()));
+    let out = streamad()
+        .arg(&csv)
+        .args(["--algo", "0", "--window", "6", "--warmup", "80", "--capacity", "16"])
+        .args(["--metrics-json", json_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&csv).ok();
+    let json = std::fs::read_to_string(&json_path).expect("--metrics-json wrote the snapshot");
+    std::fs::remove_file(&json_path).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(json.contains("\"sad_detector_steps_total\""), "lifecycle counter: {json}");
+    assert!(json.contains("\"sad_detector_removal_misses_total\""), "removal misses: {json}");
+    assert!(json.contains("\"sad_detector_nonconformity\""), "score histogram: {json}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("removal miss(es)"), "drift-state debug line: {stderr}");
+}
+
+#[test]
 fn fleet_no_batch_serves_scalar_only() {
     let csv = write_csv("nobatch", 160);
     let out = streamad()
