@@ -1,0 +1,101 @@
+//! Frame-codec micro-benches: per-frame encode/decode cost of the binary
+//! wire format against the CSV text fallback, at the replica-fleet width
+//! (38 channels) and the single-channel floor. The binary codec is
+//! `memcpy`-shaped (length check + bit-pattern copies); CSV pays float
+//! formatting one way and float parsing the other — the measured gap is
+//! the price of a printable wire.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sad_ingest::{
+    encode_csv_line_into, encode_frame_into, CsvTransport, Frame, FramedTransport, Transport,
+};
+use std::hint::black_box;
+use std::io::Cursor;
+
+fn values(channels: usize) -> Vec<f64> {
+    (0..channels).map(|c| (c as f64 * 0.37).sin() * (1.0 + c as f64 * 0.1) + c as f64).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec/encode");
+    for channels in [1usize, 38] {
+        let vals = values(channels);
+        let mut buf = Vec::with_capacity(16 + 8 * channels);
+        group.bench_function(BenchmarkId::new("binary", channels), |b| {
+            b.iter(|| {
+                buf.clear();
+                encode_frame_into(black_box(7), black_box(&vals), &mut buf);
+                black_box(buf.len())
+            });
+        });
+        let mut line = String::with_capacity(32 * channels);
+        group.bench_function(BenchmarkId::new("csv", channels), |b| {
+            b.iter(|| {
+                line.clear();
+                encode_csv_line_into(black_box(7), black_box(&vals), &mut line);
+                black_box(line.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec/decode");
+    // A long pre-encoded wire per framing; each iteration decodes one
+    // frame, rewinding at the end so the transport's reusable buffers
+    // stay warm (the steady state the zero-alloc guard pins).
+    const FRAMES: usize = 4096;
+    for channels in [1usize, 38] {
+        let vals = values(channels);
+        let mut wire = Vec::new();
+        for _ in 0..FRAMES {
+            encode_frame_into(7, &vals, &mut wire);
+        }
+        let mut transport = FramedTransport::new(Cursor::new(wire));
+        let mut frame = Frame::default();
+        let mut served = 0usize;
+        group.bench_function(BenchmarkId::new("binary", channels), |b| {
+            b.iter(|| {
+                if served == FRAMES {
+                    // Rewind without reallocating the transport.
+                    served = 0;
+                    let mut fresh = FramedTransport::new(Cursor::new(Vec::new()));
+                    std::mem::swap(&mut transport, &mut fresh);
+                    let mut cursor = fresh.into_inner();
+                    cursor.set_position(0);
+                    transport = FramedTransport::new(cursor);
+                }
+                assert!(transport.next(&mut frame).expect("well-formed wire"));
+                served += 1;
+                black_box(frame.values.len())
+            });
+        });
+
+        let mut text = String::new();
+        for _ in 0..FRAMES {
+            encode_csv_line_into(7, &vals, &mut text);
+        }
+        let mut transport = CsvTransport::new(Cursor::new(text.into_bytes()));
+        let mut served = 0usize;
+        group.bench_function(BenchmarkId::new("csv", channels), |b| {
+            b.iter(|| {
+                if served == FRAMES {
+                    served = 0;
+                    let mut fresh = CsvTransport::new(Cursor::new(Vec::new()));
+                    std::mem::swap(&mut transport, &mut fresh);
+                    let mut cursor = fresh.into_inner();
+                    cursor.set_position(0);
+                    transport = CsvTransport::new(cursor);
+                }
+                assert!(transport.next(&mut frame).expect("well-formed wire"));
+                served += 1;
+                black_box(frame.values.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

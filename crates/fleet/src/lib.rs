@@ -54,6 +54,38 @@ use sad_core::{Detector, ModelOutput, StepOutput};
 use sad_models::{batch_arch_key, infer_state_equal, ArchKey, InferBatch, InferBatchF32};
 use sad_obs::{CounterId, GaugeId, Histogram, HistogramId, Registry};
 
+/// What to do with an incoming stream vector when its bounded per-stream
+/// queue is full ([`DetectorFleet::offer`]). Every policy is accounted in
+/// the shard metric registries (`sad_fleet_bp_*_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Refuse the vector and report [`OfferOutcome::WouldBlock`]: the
+    /// caller is expected to drain a round and retry — lossless, the
+    /// producer stalls instead. The default.
+    #[default]
+    Block,
+    /// Discard the incoming vector (the queue keeps its older backlog).
+    DropNewest,
+    /// Evict the oldest queued vector to make room for the incoming one.
+    DropOldest,
+}
+
+/// Result of [`DetectorFleet::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// The vector was enqueued.
+    Enqueued,
+    /// Queue full under [`BackpressurePolicy::Block`]: nothing was
+    /// enqueued; drain a round and retry.
+    WouldBlock,
+    /// Queue full under [`BackpressurePolicy::DropNewest`]: the incoming
+    /// vector was discarded.
+    DroppedNewest,
+    /// Queue full under [`BackpressurePolicy::DropOldest`]: the oldest
+    /// queued vector was evicted and the incoming one enqueued.
+    DroppedOldest,
+}
+
 /// Static configuration of a [`DetectorFleet`].
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -120,6 +152,17 @@ pub struct FleetStats {
     /// f32 weight-snapshot re-syncs performed by those rebuilds (0 unless
     /// `FleetConfig::f32_infer`).
     pub f32_resyncs: usize,
+    /// `offer` calls refused on a full queue under
+    /// [`BackpressurePolicy::Block`].
+    pub bp_blocked: usize,
+    /// Incoming vectors discarded under [`BackpressurePolicy::DropNewest`].
+    pub bp_dropped_newest: usize,
+    /// Queued vectors evicted under [`BackpressurePolicy::DropOldest`].
+    pub bp_dropped_oldest: usize,
+    /// Streams admitted dynamically through [`DetectorFleet::admit`].
+    pub admitted: usize,
+    /// Streams retired through [`DetectorFleet::retire`].
+    pub retired: usize,
 }
 
 /// A shard's metric registry plus the preregistered handles its hot loop
@@ -135,6 +178,11 @@ struct ShardMetrics {
     f32_rows: CounterId,
     cohort_rebuilds: CounterId,
     f32_resyncs: CounterId,
+    bp_blocked: CounterId,
+    bp_dropped_newest: CounterId,
+    bp_dropped_oldest: CounterId,
+    admitted: CounterId,
+    retired: CounterId,
     queue_high_water: GaugeId,
     batch_rows: HistogramId,
     round_seconds: HistogramId,
@@ -167,6 +215,26 @@ impl ShardMetrics {
             "sad_fleet_f32_resyncs_total",
             "f32 weight-snapshot re-syncs performed by cohort rebuilds.",
         );
+        let bp_blocked = reg.register_counter(
+            "sad_fleet_bp_blocked_total",
+            "offer() refusals on a full queue under the block policy.",
+        );
+        let bp_dropped_newest = reg.register_counter(
+            "sad_fleet_bp_dropped_newest_total",
+            "Incoming vectors discarded under the drop-newest policy.",
+        );
+        let bp_dropped_oldest = reg.register_counter(
+            "sad_fleet_bp_dropped_oldest_total",
+            "Queued vectors evicted under the drop-oldest policy.",
+        );
+        let admitted = reg.register_counter(
+            "sad_fleet_admitted_total",
+            "Streams admitted dynamically after fleet construction.",
+        );
+        let retired = reg.register_counter(
+            "sad_fleet_retired_total",
+            "Streams retired from the fleet.",
+        );
         let queue_high_water = reg.register_gauge(
             "sad_fleet_queue_high_water",
             "Deepest per-stream input queue observed at a round start.",
@@ -190,6 +258,11 @@ impl ShardMetrics {
             f32_rows,
             cohort_rebuilds,
             f32_resyncs,
+            bp_blocked,
+            bp_dropped_newest,
+            bp_dropped_oldest,
+            admitted,
+            retired,
             queue_high_water,
             batch_rows,
             round_seconds,
@@ -285,8 +358,12 @@ struct ArchGroup {
 /// One worker shard: a disjoint subset of streams plus their batching
 /// state. All per-round buffers are reused; the steady-state drain loop
 /// performs zero heap allocations (`fleet/tests/zero_alloc.rs`).
+///
+/// A slot is `None` when its stream has been retired
+/// ([`DetectorFleet::retire`]); vacant slots are reused by later
+/// admissions so slot indices stay stable for the group membership lists.
 struct Shard {
-    slots: Vec<StreamSlot>,
+    slots: Vec<Option<StreamSlot>>,
     /// Per-slot model-output buffer (sibling of `slots` so the batched
     /// path can borrow a slot's detector and its output buffer at once).
     out_bufs: Vec<ModelOutput>,
@@ -314,26 +391,62 @@ impl Shard {
         }
     }
 
-    fn push_stream(&mut self, id: usize, det: Detector, queue_capacity: usize) {
+    /// Installs a stream into a vacant slot when one exists, else appends
+    /// a new slot. Returns the slot index.
+    fn push_stream(&mut self, id: usize, det: Detector, queue_capacity: usize) -> usize {
         let channels = det.config().channels;
-        self.slots.push(StreamSlot {
+        let slot = StreamSlot {
             id,
             det,
             queue: RingQueue::new(channels, queue_capacity),
             group: None,
             eligibility_checked: false,
-        });
+        };
+        if let Some(vacant) = self.slots.iter().position(Option::is_none) {
+            self.slots[vacant] = Some(slot);
+            // The vacated output buffer is kept — the first batched emit
+            // right-sizes it for the new stream's model.
+            self.outs[vacant] = None;
+            return vacant;
+        }
+        self.slots.push(Some(slot));
         // Placeholder variant; the first batched emit replaces it with a
         // right-sized buffer that is then reused forever.
         self.out_bufs.push(ModelOutput::Score(0.0));
         self.outs.push(None);
+        self.slots.len() - 1
+    }
+
+    /// Live (non-vacant) slot count.
+    fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Removes `slot` from the shard: drops the detector and any queued
+    /// backlog, and detaches it from its arch group (the group rebuilds
+    /// its cohorts at the next round).
+    fn vacate(&mut self, slot: usize) {
+        let stream = self.slots[slot].take().expect("retire of a live stream");
+        if let Some(gi) = stream.group {
+            let group = &mut self.groups[gi];
+            let pos = group
+                .members
+                .iter()
+                .position(|&m| m == slot)
+                .expect("grouped slot is a member of its group");
+            group.members.remove(pos);
+            group.cohort_of.remove(pos);
+            group.dirty = true;
+        }
+        self.outs[slot] = None;
+        self.metrics.reg.inc(self.metrics.retired, 1);
     }
 
     /// Joins `slot` to the arch group matching its model, creating the
     /// group on first sight of the architecture. Group batch capacity is
     /// the shard's stream count — the widest batch a round can need.
     fn join_group(&mut self, slot: usize) {
-        let det = &self.slots[slot].det;
+        let det = &self.slots[slot].as_ref().expect("joining slot is live").det;
         let Some(arch) = batch_arch_key(det.model()) else { return };
         let gi = match self.groups.iter().position(|g| g.arch == arch) {
             Some(gi) => gi,
@@ -356,26 +469,38 @@ impl Shard {
             }
         };
         let group = &mut self.groups[gi];
+        // Dynamic admission can grow a shard past the capacity the group's
+        // shared workspace was sized for at creation; grow it here (a
+        // training-event path, never per step). The f32 snapshots are
+        // capacity-bound too — drop them and let the dirty rebuild below
+        // recreate right-sized ones.
+        if group.members.len() + 1 > group.batch.capacity() {
+            let capacity = self.slots.len().max(group.members.len() + 1);
+            group.batch =
+                InferBatch::new(det.model(), capacity).expect("grouped arch stays batchable");
+            group.f32_batches.clear();
+        }
         group.members.push(slot);
         group.cohort_of.push(0);
         group.dirty = true;
-        self.slots[slot].group = Some(gi);
+        self.slots[slot].as_mut().expect("joining slot is live").group = Some(gi);
     }
 
     /// Re-partitions a group into weight-identical cohorts by exact
     /// parameter comparison against each cohort's first member. O(k·c)
     /// comparisons for k members and c cohorts — and it only runs on
     /// training events, never in the per-step hot path.
-    fn rebuild_cohorts(group: &mut ArchGroup, slots: &[StreamSlot]) -> usize {
+    fn rebuild_cohorts(group: &mut ArchGroup, slots: &[Option<StreamSlot>]) -> usize {
+        let live = |slot: usize| slots[slot].as_ref().expect("group members are live");
         group.n_cohorts = 0;
         for i in 0..group.members.len() {
-            let model = slots[group.members[i]].det.model();
+            let model = live(group.members[i]).det.model();
             let mut assigned = None;
             'cohorts: for c in 0..group.n_cohorts {
                 // The cohort's representative: its first member.
                 for j in 0..i {
                     if group.cohort_of[j] == c {
-                        if infer_state_equal(model, slots[group.members[j]].det.model()) {
+                        if infer_state_equal(model, live(group.members[j]).det.model()) {
                             assigned = Some(c);
                         }
                         continue 'cohorts;
@@ -400,7 +525,7 @@ impl Shard {
                 let leader_pos = (0..group.members.len())
                     .find(|&i| group.cohort_of[i] == c)
                     .expect("every cohort has a member");
-                let leader = slots[group.members[leader_pos]].det.model();
+                let leader = live(group.members[leader_pos]).det.model();
                 if let Some(existing) = group.f32_batches.get_mut(c) {
                     existing.refresh(leader);
                 } else {
@@ -424,7 +549,7 @@ impl Shard {
         // below them is zero-alloc indexed arithmetic.
         let started = self.telemetry.then(std::time::Instant::now);
         if self.telemetry {
-            for slot in &self.slots {
+            for slot in self.slots.iter().flatten() {
                 self.metrics
                     .reg
                     .gauge_max(self.metrics.queue_high_water, slot.queue.len() as f64);
@@ -439,21 +564,23 @@ impl Shard {
         // ---- Scalar path: ungrouped streams (warm-up, non-NN models,
         // batching disabled).
         for i in 0..self.slots.len() {
-            if self.slots[i].group.is_some() {
-                continue;
+            {
+                let Some(slot) = self.slots[i].as_mut() else { continue };
+                if slot.group.is_some() {
+                    continue;
+                }
+                let Some(s) = slot.queue.front() else { continue };
+                let out = slot.det.step(s);
+                slot.queue.pop_front();
+                self.outs[i] = out;
             }
-            let slot = &mut self.slots[i];
-            let Some(s) = slot.queue.front() else { continue };
-            let out = slot.det.step(s);
-            slot.queue.pop_front();
-            self.outs[i] = out;
             self.metrics.reg.inc(self.metrics.steps, 1);
             self.metrics.reg.inc(self.metrics.scalar_steps, 1);
             // Batching eligibility is decided once the model has fitted
             // (networks materialize at the warm-up fit).
-            if self.batching && !self.slots[i].eligibility_checked && self.slots[i].det.is_warmed_up()
-            {
-                self.slots[i].eligibility_checked = true;
+            let slot = self.slots[i].as_ref().expect("slot was live above");
+            if self.batching && !slot.eligibility_checked && slot.det.is_warmed_up() {
+                self.slots[i].as_mut().expect("slot was live above").eligibility_checked = true;
                 self.join_group(i);
             }
         }
@@ -470,7 +597,7 @@ impl Shard {
             // every begin yields a feature vector.
             group.active.clear();
             for (pos, &si) in group.members.iter().enumerate() {
-                let slot = &mut slots[si];
+                let slot = slots[si].as_mut().expect("group members are live");
                 let Some(s) = slot.queue.front() else { continue };
                 let ready = slot.det.begin_step(s);
                 slot.queue.pop_front();
@@ -495,6 +622,7 @@ impl Shard {
                 // fine-tune inside finish must not be able to perturb a
                 // sibling's emit (it can't — fine-tunes never refit the
                 // scaler — but the ordering makes parity unconditional).
+                let live = |si: usize| slots[si].as_ref().expect("group members are live");
                 if group.f32_infer {
                     // f32 snapshot path: the cohort's own snapshot holds
                     // converted weights and scaler, so no leader is read.
@@ -502,7 +630,7 @@ impl Shard {
                     batch.begin(rows);
                     for (row, &pos) in group.cohort_rows.iter().enumerate() {
                         let si = group.members[pos];
-                        batch.pack(row, slots[si].det.feature());
+                        batch.pack(row, live(si).det.feature());
                     }
                     batch.forward();
                     for (row, &pos) in group.cohort_rows.iter().enumerate() {
@@ -515,16 +643,16 @@ impl Shard {
                     for (row, &pos) in group.cohort_rows.iter().enumerate() {
                         let si = group.members[pos];
                         group.batch.pack(
-                            slots[leader_slot].det.model(),
+                            live(leader_slot).det.model(),
                             row,
-                            slots[si].det.feature(),
+                            live(si).det.feature(),
                         );
                     }
-                    group.batch.forward(slots[leader_slot].det.model());
+                    group.batch.forward(live(leader_slot).det.model());
                     for (row, &pos) in group.cohort_rows.iter().enumerate() {
                         let si = group.members[pos];
                         group.batch.emit_into(
-                            slots[leader_slot].det.model(),
+                            live(leader_slot).det.model(),
                             row,
                             &mut out_bufs[si],
                         );
@@ -532,7 +660,8 @@ impl Shard {
                 }
                 for &pos in group.cohort_rows.iter() {
                     let si = group.members[pos];
-                    let out = slots[si].det.finish_step(&out_bufs[si]);
+                    let slot = slots[si].as_mut().expect("group members are live");
+                    let out = slot.det.finish_step(&out_bufs[si]);
                     if out.fine_tuned {
                         group.dirty = true;
                     }
@@ -560,16 +689,27 @@ impl Shard {
 
     /// Streams on this shard with at least one queued vector.
     fn pending(&self) -> usize {
-        self.slots.iter().filter(|s| s.queue.len() > 0).count()
+        self.slots.iter().flatten().filter(|s| s.queue.len() > 0).count()
     }
 }
 
 /// A sharded multi-stream detector fleet. See the crate docs for the
 /// batching and sharding model.
+///
+/// Streams can be fixed at construction ([`DetectorFleet::new`]) or come
+/// and go dynamically ([`DetectorFleet::admit`] / [`DetectorFleet::retire`]
+/// on a fleet started with [`DetectorFleet::open`]): every stream gets a
+/// fresh monotonically-increasing id, and retired ids stay valid history
+/// (outputs are indexed by id forever) while their shard slots are reused
+/// by later admissions.
 pub struct DetectorFleet {
     shards: Vec<Shard>,
     config: FleetConfig,
-    n_streams: usize,
+    /// Stream id → (shard, slot); `None` once the stream is retired.
+    /// Fleets built by [`DetectorFleet::new`] lay ids out round-robin
+    /// (`id % shards`, `id / shards`) — this table generalizes that
+    /// arithmetic to dynamic admission.
+    addr: Vec<Option<(usize, usize)>>,
 }
 
 impl DetectorFleet {
@@ -581,41 +721,138 @@ impl DetectorFleet {
     /// queue capacity.
     pub fn new(detectors: Vec<Detector>, config: FleetConfig) -> Self {
         assert!(!detectors.is_empty(), "a fleet needs at least one stream");
+        let n_shards = config.shards.min(detectors.len());
+        let mut fleet = Self::open(FleetConfig { shards: n_shards, ..config });
+        for (id, det) in detectors.into_iter().enumerate() {
+            let slot = fleet.shards[id % n_shards].push_stream(id, det, fleet.config.queue_capacity);
+            fleet.addr.push(Some((id % n_shards, slot)));
+        }
+        fleet
+    }
+
+    /// Opens an *empty* fleet with exactly `config.shards` shards, ready
+    /// for dynamic admission — the serving-engine entry point, where
+    /// entities appear on first contact rather than at construction.
+    ///
+    /// # Panics
+    /// Panics on a zero shard count / queue capacity.
+    pub fn open(config: FleetConfig) -> Self {
         assert!(config.shards > 0, "shard count must be positive");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
-        let n_streams = detectors.len();
-        let n_shards = config.shards.min(n_streams);
-        let mut shards: Vec<Shard> = (0..n_shards)
+        let shards: Vec<Shard> = (0..config.shards)
             .map(|_| {
                 Shard::new(config.batching, config.batching && config.f32_infer, config.telemetry)
             })
             .collect();
-        for (id, det) in detectors.into_iter().enumerate() {
-            shards[id % n_shards].push_stream(id, det, config.queue_capacity);
-        }
-        Self { shards, config, n_streams }
+        Self { shards, config, addr: Vec::new() }
     }
 
-    /// Number of streams.
+    /// Admits a new stream: the detector lands on the shard with the
+    /// fewest live streams (lowest index on ties — deterministic), reusing
+    /// a retired slot when one exists. Returns the new stream id.
+    pub fn admit(&mut self, det: Detector) -> usize {
+        let shard = (0..self.shards.len())
+            .min_by_key(|&i| (self.shards[i].live(), i))
+            .expect("a fleet has at least one shard");
+        let slot = self.shards[shard].push_stream(self.addr.len(), det, self.config.queue_capacity);
+        let m = &mut self.shards[shard].metrics;
+        m.reg.inc(m.admitted, 1);
+        self.addr.push(Some((shard, slot)));
+        self.addr.len() - 1
+    }
+
+    /// Retires `stream`: its detector (and any queued backlog) is dropped
+    /// and the slot becomes reusable by a later [`Self::admit`]. The id
+    /// stays valid history — [`Self::is_live`] turns `false`, and
+    /// re-admitting the same entity later builds a fresh detector.
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range or already retired.
+    pub fn retire(&mut self, stream: usize) {
+        assert!(stream < self.addr.len(), "stream {stream} out of 0..{}", self.addr.len());
+        let (shard, slot) = self.addr[stream].take().expect("retire of a live stream");
+        self.shards[shard].vacate(slot);
+    }
+
+    /// Whether `stream` is currently live (admitted and not retired).
+    pub fn is_live(&self, stream: usize) -> bool {
+        self.addr.get(stream).is_some_and(Option::is_some)
+    }
+
+    /// Number of live streams.
+    pub fn live(&self) -> usize {
+        self.addr.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Number of stream ids ever issued (live + retired).
     pub fn len(&self) -> usize {
-        self.n_streams
+        self.addr.len()
     }
 
-    /// Whether the fleet is empty (never true — `new` requires a stream).
+    /// Whether the fleet has never had a stream.
     pub fn is_empty(&self) -> bool {
-        self.n_streams == 0
+        self.addr.is_empty()
+    }
+
+    /// Queued (not yet served) vectors for `stream`.
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range or retired.
+    pub fn queued(&self, stream: usize) -> usize {
+        let (shard, slot) = self.live_addr(stream);
+        self.shards[shard].slots[slot].as_ref().expect("addressed slot is live").queue.len()
+    }
+
+    fn live_addr(&self, stream: usize) -> (usize, usize) {
+        assert!(stream < self.addr.len(), "stream {stream} out of 0..{}", self.addr.len());
+        self.addr[stream].expect("stream has been retired")
     }
 
     /// Enqueues one stream vector for `stream`; `false` when that
     /// stream's queue is full (drain first).
     ///
     /// # Panics
-    /// Panics if `stream` is out of range or `s` has the wrong channel
-    /// count.
+    /// Panics if `stream` is out of range or retired, or `s` has the
+    /// wrong channel count.
     pub fn enqueue(&mut self, stream: usize, s: &[f64]) -> bool {
-        assert!(stream < self.n_streams, "stream {stream} out of 0..{}", self.n_streams);
-        let n_shards = self.shards.len();
-        self.shards[stream % n_shards].slots[stream / n_shards].queue.push(s)
+        let (shard, slot) = self.live_addr(stream);
+        self.shards[shard].slots[slot].as_mut().expect("addressed slot is live").queue.push(s)
+    }
+
+    /// Enqueues one stream vector under a back-pressure `policy`: like
+    /// [`Self::enqueue`], but a full queue is resolved per policy (refuse /
+    /// drop the incoming vector / evict the oldest queued one) and the
+    /// outcome is counted in the owning shard's metric registry
+    /// (`sad_fleet_bp_*_total`). Zero-alloc — safe on the ingest hot path.
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range or retired, or `s` has the
+    /// wrong channel count.
+    pub fn offer(&mut self, stream: usize, s: &[f64], policy: BackpressurePolicy) -> OfferOutcome {
+        let (shard, slot) = self.live_addr(stream);
+        let sh = &mut self.shards[shard];
+        let queue = &mut sh.slots[slot].as_mut().expect("addressed slot is live").queue;
+        if queue.push(s) {
+            return OfferOutcome::Enqueued;
+        }
+        let m = &mut sh.metrics;
+        match policy {
+            BackpressurePolicy::Block => {
+                m.reg.inc(m.bp_blocked, 1);
+                OfferOutcome::WouldBlock
+            }
+            BackpressurePolicy::DropNewest => {
+                m.reg.inc(m.bp_dropped_newest, 1);
+                OfferOutcome::DroppedNewest
+            }
+            BackpressurePolicy::DropOldest => {
+                queue.pop_front();
+                let accepted = queue.push(s);
+                debug_assert!(accepted, "eviction frees exactly one slot");
+                m.reg.inc(m.bp_dropped_oldest, 1);
+                OfferOutcome::DroppedOldest
+            }
+        }
     }
 
     /// Drains one round: every stream with queued input advances exactly
@@ -624,7 +861,7 @@ impl DetectorFleet {
     /// is past warm-up — exactly `Detector::step`'s contract. Returns the
     /// number of vectors consumed.
     pub fn drain_round(&mut self, out: &mut Vec<Option<StepOutput>>) -> usize {
-        out.resize(self.n_streams, None);
+        out.resize(self.addr.len(), None);
         for o in out.iter_mut() {
             *o = None;
         }
@@ -646,7 +883,9 @@ impl DetectorFleet {
         // Scatter shard-local outputs back into stream-id order.
         for shard in &self.shards {
             for (slot, o) in shard.slots.iter().zip(&shard.outs) {
-                out[slot.id] = *o;
+                if let Some(slot) = slot {
+                    out[slot.id] = *o;
+                }
             }
         }
         consumed
@@ -656,11 +895,12 @@ impl DetectorFleet {
     /// returns each stream's post-warm-up outputs — per stream, the exact
     /// trace of a standalone `Detector::run` over the same series.
     pub fn run(&mut self, series: &[Vec<Vec<f64>>]) -> Vec<Vec<StepOutput>> {
-        assert_eq!(series.len(), self.n_streams, "one series per stream");
-        let mut traces: Vec<Vec<StepOutput>> = (0..self.n_streams).map(|_| Vec::new()).collect();
+        assert_eq!(series.len(), self.addr.len(), "one series per stream");
+        let n_streams = self.addr.len();
+        let mut traces: Vec<Vec<StepOutput>> = (0..n_streams).map(|_| Vec::new()).collect();
         let mut round_out: Vec<Option<StepOutput>> = Vec::new();
         let longest = series.iter().map(Vec::len).max().unwrap_or(0);
-        let mut cursor = vec![0usize; self.n_streams];
+        let mut cursor = vec![0usize; n_streams];
         for _ in 0..longest {
             for (i, s) in series.iter().enumerate() {
                 if cursor[i] < s.len() {
@@ -680,10 +920,12 @@ impl DetectorFleet {
     }
 
     /// The detector serving `stream`.
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range or retired.
     pub fn detector(&self, stream: usize) -> &Detector {
-        assert!(stream < self.n_streams, "stream {stream} out of 0..{}", self.n_streams);
-        let n_shards = self.shards.len();
-        &self.shards[stream % n_shards].slots[stream / n_shards].det
+        let (shard, slot) = self.live_addr(stream);
+        &self.shards[shard].slots[slot].as_ref().expect("addressed slot is live").det
     }
 
     /// Cumulative serving counters — a snapshot of the per-shard metric
@@ -699,6 +941,11 @@ impl DetectorFleet {
             total.f32_rows += m.reg.counter(m.f32_rows) as usize;
             total.cohort_rebuilds += m.reg.counter(m.cohort_rebuilds) as usize;
             total.f32_resyncs += m.reg.counter(m.f32_resyncs) as usize;
+            total.bp_blocked += m.reg.counter(m.bp_blocked) as usize;
+            total.bp_dropped_newest += m.reg.counter(m.bp_dropped_newest) as usize;
+            total.bp_dropped_oldest += m.reg.counter(m.bp_dropped_oldest) as usize;
+            total.admitted += m.reg.counter(m.admitted) as usize;
+            total.retired += m.reg.counter(m.retired) as usize;
         }
         total
     }
@@ -714,16 +961,18 @@ impl DetectorFleet {
         for shard in &self.shards[1..] {
             reg.merge_from(&shard.metrics.reg);
         }
-        let streams = reg.register_gauge("sad_fleet_streams", "Streams served by this fleet.");
-        reg.set_gauge(streams, self.n_streams as f64);
+        let streams = reg.register_gauge("sad_fleet_streams", "Live streams served by this fleet.");
+        reg.set_gauge(streams, self.live() as f64);
         let shards = reg.register_gauge("sad_fleet_shards", "Worker shards.");
         reg.set_gauge(shards, self.shards.len() as f64);
 
-        // Detector lifecycle aggregate: every detector's snapshot shares
-        // one schema, so they fold into a single population registry.
+        // Detector lifecycle aggregate: every live detector's snapshot
+        // shares one schema, so they fold into a single population
+        // registry. Retired detectors are gone — their serving history
+        // stays in the shard counters above.
         let mut lifecycle: Option<Registry> = None;
         for shard in &self.shards {
-            for slot in &shard.slots {
+            for slot in shard.slots.iter().flatten() {
                 let snap = slot.det.export_metrics();
                 match &mut lifecycle {
                     None => lifecycle = Some(snap),
@@ -836,6 +1085,124 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn empty_fleet_panics() {
         let _ = DetectorFleet::new(Vec::new(), FleetConfig::default());
+    }
+
+    #[test]
+    fn offer_policies_resolve_full_queues_and_count() {
+        let config = FleetConfig { queue_capacity: 2, ..FleetConfig::default() };
+        let mut fleet = DetectorFleet::new(vec![ae_detector(1)], config);
+        assert_eq!(fleet.offer(0, &[1.0, 0.0], BackpressurePolicy::Block), OfferOutcome::Enqueued);
+        assert_eq!(fleet.offer(0, &[2.0, 0.0], BackpressurePolicy::Block), OfferOutcome::Enqueued);
+        assert_eq!(fleet.queued(0), 2);
+        // Full queue: each policy resolves it its own way.
+        assert_eq!(
+            fleet.offer(0, &[3.0, 0.0], BackpressurePolicy::Block),
+            OfferOutcome::WouldBlock
+        );
+        assert_eq!(fleet.queued(0), 2, "block leaves the queue untouched");
+        assert_eq!(
+            fleet.offer(0, &[4.0, 0.0], BackpressurePolicy::DropNewest),
+            OfferOutcome::DroppedNewest
+        );
+        assert_eq!(fleet.queued(0), 2, "drop-newest discards the incoming vector");
+        assert_eq!(
+            fleet.offer(0, &[5.0, 0.0], BackpressurePolicy::DropOldest),
+            OfferOutcome::DroppedOldest
+        );
+        assert_eq!(fleet.queued(0), 2, "drop-oldest evicts to make room");
+        let stats = fleet.stats();
+        assert_eq!(
+            (stats.bp_blocked, stats.bp_dropped_newest, stats.bp_dropped_oldest),
+            (1, 1, 1),
+            "per-policy counters: {stats:?}",
+        );
+        // After the eviction the queue holds [2.0, 5.0]: vector 1 was
+        // evicted, 5.0 took its place at the back.
+        let mut out = Vec::new();
+        fleet.drain_round(&mut out);
+        fleet.drain_round(&mut out);
+        assert_eq!(fleet.queued(0), 0);
+        let reg = fleet.export_metrics();
+        assert_eq!(reg.counter_by_name("sad_fleet_bp_dropped_oldest_total"), Some(1));
+    }
+
+    #[test]
+    fn admit_and_retire_reuse_slots_and_keep_ids_stable() {
+        let config = FleetConfig { shards: 2, ..FleetConfig::default() };
+        let mut fleet = DetectorFleet::open(config);
+        assert!(fleet.is_empty());
+        let a = fleet.admit(ae_detector(1));
+        let b = fleet.admit(ae_detector(2));
+        let c = fleet.admit(ae_detector(3));
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(fleet.live(), 3);
+
+        // Serve a few rounds across all three streams.
+        let data = series(40, 0.0);
+        let mut out = Vec::new();
+        for s in &data {
+            for id in [a, b, c] {
+                assert!(fleet.enqueue(id, s));
+            }
+            fleet.drain_round(&mut out);
+            assert_eq!(out.len(), 3);
+        }
+
+        // Retire b: its id goes dead, everyone else keeps serving.
+        fleet.retire(b);
+        assert!(!fleet.is_live(b));
+        assert_eq!(fleet.live(), 2);
+        for s in &data {
+            for id in [a, c] {
+                assert!(fleet.enqueue(id, s));
+            }
+            fleet.drain_round(&mut out);
+            assert_eq!(out[b], None, "retired id yields no output");
+        }
+
+        // A later admission reuses b's slot under a fresh id.
+        let d = fleet.admit(ae_detector(4));
+        assert_eq!(d, 3);
+        assert_eq!(fleet.live(), 3);
+        assert!(fleet.enqueue(d, &data[0]));
+        fleet.drain_round(&mut out);
+        assert_eq!(out.len(), 4, "outputs indexed by id history");
+        let stats = fleet.stats();
+        assert_eq!((stats.admitted, stats.retired), (4, 1), "{stats:?}");
+        let reg = fleet.export_metrics();
+        assert_eq!(reg.gauge_by_name("sad_fleet_streams"), Some(3.0), "live streams gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn enqueue_to_retired_stream_panics() {
+        let mut fleet = DetectorFleet::open(FleetConfig::default());
+        let id = fleet.admit(ae_detector(1));
+        fleet.retire(id);
+        let _ = fleet.enqueue(id, &[0.0, 0.0]);
+    }
+
+    /// Dynamically-admitted replicas of a construction-time fleet must
+    /// batch together: admission joins the same arch groups and cohorts
+    /// once the stream warms up.
+    #[test]
+    fn admitted_replicas_join_the_batching_cohort() {
+        let data = series(220, 0.0);
+        let config = FleetConfig { shards: 1, ..FleetConfig::default() };
+        let mut fleet = DetectorFleet::new(vec![ae_detector(7)], config);
+        let b = fleet.admit(ae_detector(7));
+        let mut out = Vec::new();
+        for s in &data {
+            assert!(fleet.enqueue(0, s));
+            assert!(fleet.enqueue(b, s));
+            fleet.drain_round(&mut out);
+        }
+        let stats = fleet.stats();
+        assert!(stats.batched_rows > 0, "admitted twin joins the cohort: {stats:?}");
+        assert!(
+            stats.batches <= stats.batched_rows / 2 + 2,
+            "twin rows amortize into shared passes: {stats:?}",
+        );
     }
 
     /// The exported registry agrees with the `stats()` snapshot, carries

@@ -1,0 +1,482 @@
+//! The ingestion engine: frames in, [`StepOutput`]s out.
+//!
+//! [`IngestEngine`] sits between a [`Transport`](crate::Transport) and a
+//! [`DetectorFleet`]: it routes each decoded frame to the fleet stream
+//! serving that wire id, admits a freshly-built detector on first contact
+//! with an unknown id ([`DetectorTemplate`]), resolves full queues under
+//! the configured [`BackpressurePolicy`], schedules fleet drain rounds,
+//! and retires streams that have gone idle. The frame→enqueue→drain hot
+//! path is zero-alloc in steady state (`tests/zero_alloc.rs`): routing is
+//! a hash lookup, admission/retirement are the only allocating paths and
+//! both are per-entity-lifetime events, not per-frame ones.
+//!
+//! ## Round scheduling
+//!
+//! The engine drains one fleet round after every `live-stream-count`
+//! frames (or [`EngineConfig::round_frames`] when set) and whenever a
+//! blocked `offer` needs room. Per-stream traces are invariant to the
+//! drain schedule — each detector consumes its own queue in arrival
+//! order, and the batched path is bitwise-identical to scalar stepping —
+//! so serve-mode outputs match [`DetectorFleet::run`] exactly no matter
+//! how the wire interleaves frames (`tests/serve_parity.rs`).
+//!
+//! ## Dynamic admission
+//!
+//! A frame with an unknown wire id builds a detector through the
+//! template (channel count taken from the frame) and admits it to the
+//! least-loaded shard. A live stream that has seen no frame for
+//! [`EngineConfig::idle_rounds`] rounds and has drained its backlog is
+//! retired — its detector (and memory) is dropped, and the same wire id
+//! arriving later is admitted again from scratch with a fresh warm-up.
+
+use std::collections::HashMap;
+use std::io;
+
+use sad_core::{AlgorithmSpec, Detector, StepOutput};
+use sad_fleet::{BackpressurePolicy, DetectorFleet, FleetConfig, FleetStats, OfferOutcome};
+use sad_models::{build_detector, BuildParams};
+use sad_obs::{CounterId, Histogram, HistogramId, Registry};
+
+use crate::frame::Frame;
+use crate::transport::Transport;
+
+/// Recipe for detectors built on dynamic admission: a Table I algorithm
+/// plus build parameters whose channel count is stamped per stream from
+/// the first frame's width.
+#[derive(Debug, Clone)]
+pub struct DetectorTemplate {
+    spec: AlgorithmSpec,
+    params: BuildParams,
+}
+
+impl DetectorTemplate {
+    /// A template from an algorithm spec and its build parameters. The
+    /// `channels` field of `params.config` is overwritten per admission.
+    pub fn new(spec: AlgorithmSpec, params: BuildParams) -> Self {
+        Self { spec, params }
+    }
+
+    /// Builds one detector for a stream with `channels` channels.
+    pub fn build(&self, channels: usize) -> Detector {
+        let mut params = self.params.clone();
+        params.config.channels = channels;
+        build_detector(self.spec, &params)
+    }
+
+    /// The algorithm this template instantiates.
+    pub fn spec(&self) -> AlgorithmSpec {
+        self.spec
+    }
+}
+
+/// Engine policy knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// What to do when a stream's bounded queue is full. `Block` retries
+    /// after draining a round (lossless); the drop policies shed load.
+    pub policy: BackpressurePolicy,
+    /// Retire a stream after this many consecutive drain rounds with no
+    /// arriving frame (once its backlog is empty). `None` = never retire.
+    pub idle_rounds: Option<u64>,
+    /// Frames between scheduled drain rounds; `0` (the default) adapts to
+    /// one frame per live stream — the cadence that keeps whole-fleet
+    /// batched rounds full without adding latency.
+    pub round_frames: usize,
+    /// Cap on concurrently live streams. Frames for unknown ids beyond
+    /// the cap are rejected (counted in `sad_ingest_rejected_total`).
+    pub max_streams: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            policy: BackpressurePolicy::Block,
+            idle_rounds: None,
+            round_frames: 0,
+            max_streams: 65_536,
+        }
+    }
+}
+
+/// Receives engine outputs. `output` fires once per post-warm-up detector
+/// step, keyed by *wire* stream id; `round` fires after every drain round
+/// (periodic reporting hook — default no-op).
+pub trait EngineSink {
+    /// One detector step result for wire stream `stream`.
+    fn output(&mut self, stream: u64, out: &StepOutput);
+
+    /// A drain round completed. `rounds` counts them from engine start.
+    fn round(&mut self, rounds: u64, engine_stats: &IngestStats) {
+        let _ = (rounds, engine_stats);
+    }
+}
+
+/// Closures are sinks: `|stream, out| …`.
+impl<F: FnMut(u64, &StepOutput)> EngineSink for F {
+    fn output(&mut self, stream: u64, out: &StepOutput) {
+        self(stream, out)
+    }
+}
+
+/// Cumulative engine counters — a snapshot of the engine registry plus
+/// the fleet's own serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Frames accepted from transports (admitted to a queue or shed by a
+    /// drop policy — everything that decoded and routed).
+    pub frames: usize,
+    /// Payload bytes consumed from transports.
+    pub bytes: u64,
+    /// Frames for unknown wire ids rejected by the live-stream cap.
+    pub rejected: usize,
+    /// Frames whose channel count disagreed with their stream's detector.
+    pub channel_mismatches: usize,
+    /// Drain rounds executed.
+    pub rounds: u64,
+    /// Streams retired by the idle timeout.
+    pub idle_retired: usize,
+    /// The fleet's serving counters (steps, batching, back-pressure,
+    /// admission).
+    pub fleet: FleetStats,
+}
+
+/// Preregistered engine metric handles (`sad_ingest_*` families).
+struct EngineMetrics {
+    reg: Registry,
+    frames: CounterId,
+    bytes: CounterId,
+    rejected: CounterId,
+    channel_mismatches: CounterId,
+    rounds: CounterId,
+    idle_retired: CounterId,
+    round_frames: HistogramId,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let mut reg = Registry::new();
+        let frames =
+            reg.register_counter("sad_ingest_frames_total", "Frames decoded and routed.");
+        let bytes =
+            reg.register_counter("sad_ingest_bytes_total", "Payload bytes consumed from transports.");
+        let rejected = reg.register_counter(
+            "sad_ingest_rejected_total",
+            "Frames for unknown wire ids rejected by the live-stream cap.",
+        );
+        let channel_mismatches = reg.register_counter(
+            "sad_ingest_channel_mismatch_total",
+            "Frames whose channel count disagreed with their stream's detector.",
+        );
+        let rounds = reg.register_counter("sad_ingest_rounds_total", "Fleet drain rounds executed.");
+        let idle_retired = reg.register_counter(
+            "sad_ingest_idle_retired_total",
+            "Streams retired by the idle timeout.",
+        );
+        let round_frames = reg.register_histogram(
+            "sad_ingest_round_frames",
+            "Frames ingested between consecutive drain rounds.",
+            Histogram::log2(1.0, 65_536.0),
+        );
+        Self { reg, frames, bytes, rejected, channel_mismatches, rounds, idle_retired, round_frames }
+    }
+}
+
+/// The ingestion engine. See the module docs for the routing, round
+/// scheduling and admission model.
+pub struct IngestEngine {
+    fleet: DetectorFleet,
+    template: DetectorTemplate,
+    cfg: EngineConfig,
+    /// Wire id → fleet stream id (live streams only).
+    route: HashMap<u64, usize>,
+    /// Fleet stream id → wire id (grows monotonically with id history).
+    wire_of: Vec<u64>,
+    /// Fleet stream id → round count when its last frame arrived.
+    last_input: Vec<u64>,
+    rounds: u64,
+    frames_since_drain: usize,
+    out: Vec<Option<StepOutput>>,
+    retire_scratch: Vec<usize>,
+    metrics: EngineMetrics,
+}
+
+impl IngestEngine {
+    /// An engine over an empty fleet ([`DetectorFleet::open`]); streams
+    /// are admitted from the wire on first contact.
+    pub fn new(template: DetectorTemplate, fleet: FleetConfig, cfg: EngineConfig) -> Self {
+        assert!(cfg.max_streams > 0, "an engine needs room for at least one stream");
+        Self {
+            fleet: DetectorFleet::open(fleet),
+            template,
+            cfg,
+            route: HashMap::new(),
+            wire_of: Vec::new(),
+            last_input: Vec::new(),
+            rounds: 0,
+            frames_since_drain: 0,
+            out: Vec::new(),
+            retire_scratch: Vec::new(),
+            metrics: EngineMetrics::new(),
+        }
+    }
+
+    /// Ingests one decoded frame: route (admitting on first contact),
+    /// offer under the back-pressure policy, and drain when the round
+    /// budget is reached. Blocked offers drain immediately and retry.
+    pub fn ingest(&mut self, frame: &Frame, sink: &mut impl EngineSink) {
+        self.metrics.reg.inc(self.metrics.frames, 1);
+        let id = match self.route.get(&frame.stream) {
+            Some(&id) => id,
+            None => {
+                if self.fleet.live() >= self.cfg.max_streams {
+                    self.metrics.reg.inc(self.metrics.rejected, 1);
+                    return;
+                }
+                let id = self.fleet.admit(self.template.build(frame.values.len()));
+                self.route.insert(frame.stream, id);
+                debug_assert_eq!(self.wire_of.len(), id);
+                self.wire_of.push(frame.stream);
+                self.last_input.push(self.rounds);
+                id
+            }
+        };
+        if self.fleet.detector(id).config().channels != frame.values.len() {
+            self.metrics.reg.inc(self.metrics.channel_mismatches, 1);
+            return;
+        }
+        loop {
+            match self.fleet.offer(id, &frame.values, self.cfg.policy) {
+                OfferOutcome::Enqueued
+                | OfferOutcome::DroppedNewest
+                | OfferOutcome::DroppedOldest => break,
+                OfferOutcome::WouldBlock => self.drain(sink),
+            }
+        }
+        self.last_input[id] = self.rounds;
+        self.frames_since_drain += 1;
+        let target = match self.cfg.round_frames {
+            0 => self.fleet.live().max(1),
+            n => n,
+        };
+        if self.frames_since_drain >= target {
+            self.drain(sink);
+        }
+    }
+
+    /// Runs one fleet drain round, delivers its outputs, and sweeps for
+    /// idle streams to retire.
+    fn drain(&mut self, sink: &mut impl EngineSink) {
+        self.metrics.reg.record(self.metrics.round_frames, self.frames_since_drain as f64);
+        self.frames_since_drain = 0;
+        self.fleet.drain_round(&mut self.out);
+        self.rounds += 1;
+        self.metrics.reg.inc(self.metrics.rounds, 1);
+        for (id, o) in self.out.iter().enumerate() {
+            if let Some(o) = o {
+                sink.output(self.wire_of[id], o);
+            }
+        }
+
+        if let Some(idle) = self.cfg.idle_rounds {
+            self.retire_scratch.clear();
+            for id in 0..self.wire_of.len() {
+                if self.fleet.is_live(id)
+                    && self.rounds.saturating_sub(self.last_input[id]) >= idle
+                    && self.fleet.queued(id) == 0
+                {
+                    self.retire_scratch.push(id);
+                }
+            }
+            for i in 0..self.retire_scratch.len() {
+                let id = self.retire_scratch[i];
+                self.fleet.retire(id);
+                self.route.remove(&self.wire_of[id]);
+                self.metrics.reg.inc(self.metrics.idle_retired, 1);
+            }
+        }
+        sink.round(self.rounds, &self.stats());
+    }
+
+    /// Drains until every queue is empty (end-of-stream flush).
+    pub fn finish(&mut self, sink: &mut impl EngineSink) {
+        loop {
+            let consumed: usize =
+                (0..self.wire_of.len()).filter(|&id| self.fleet.is_live(id)).map(|id| self.fleet.queued(id)).sum();
+            if consumed == 0 && self.frames_since_drain == 0 {
+                return;
+            }
+            self.drain(sink);
+            if consumed == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Pumps `transport` to end-of-stream: decode → [`Self::ingest`] →
+    /// flush. On a transport/protocol error the backlog already queued is
+    /// still drained before the error is returned, so no accepted frame
+    /// is lost to a dirty disconnect.
+    pub fn run<T: Transport>(&mut self, transport: &mut T, sink: &mut impl EngineSink) -> io::Result<()> {
+        let mut frame = Frame::default();
+        let before = transport.bytes_read();
+        let result = loop {
+            match transport.next(&mut frame) {
+                Ok(true) => self.ingest(&frame, sink),
+                Ok(false) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        self.metrics.reg.inc(self.metrics.bytes, transport.bytes_read() - before);
+        self.finish(sink);
+        result
+    }
+
+    /// Counter snapshot (engine + fleet).
+    pub fn stats(&self) -> IngestStats {
+        let m = &self.metrics;
+        IngestStats {
+            frames: m.reg.counter(m.frames) as usize,
+            bytes: m.reg.counter(m.bytes),
+            rejected: m.reg.counter(m.rejected) as usize,
+            channel_mismatches: m.reg.counter(m.channel_mismatches) as usize,
+            rounds: m.reg.counter(m.rounds),
+            idle_retired: m.reg.counter(m.idle_retired) as usize,
+            fleet: self.fleet.stats(),
+        }
+    }
+
+    /// The fleet this engine feeds.
+    pub fn fleet(&self) -> &DetectorFleet {
+        &self.fleet
+    }
+
+    /// Drain rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Fleet stream id currently serving wire id `stream`, if live.
+    pub fn stream_id(&self, stream: u64) -> Option<usize> {
+        self.route.get(&stream).copied()
+    }
+
+    /// Exports the full metric registry: the `sad_ingest_*` families plus
+    /// everything [`DetectorFleet::export_metrics`] aggregates (shard
+    /// serving counters, back-pressure/admission counters, detector
+    /// lifecycle). Allocates — export path only.
+    pub fn export_metrics(&self) -> Registry {
+        let mut reg = self.fleet.export_metrics();
+        reg.absorb(&self.metrics.reg);
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sad_core::{DetectorConfig, ModelKind, ScoreKind, Task1, Task2};
+
+    fn template(window: usize, warmup: usize) -> DetectorTemplate {
+        let spec = AlgorithmSpec {
+            model: ModelKind::TwoLayerAe,
+            task1: Task1::SlidingWindow,
+            task2: Task2::MuSigma,
+        };
+        let config =
+            DetectorConfig { window, channels: 1, warmup, initial_epochs: 1, fine_tune_epochs: 1 };
+        DetectorTemplate::new(
+            spec,
+            BuildParams::new(config).with_capacity(12).with_score(ScoreKind::Raw).with_seed(5),
+        )
+    }
+
+    fn frame(stream: u64, values: &[f64]) -> Frame {
+        Frame { stream, values: values.to_vec() }
+    }
+
+    struct Collect {
+        outputs: Vec<(u64, StepOutput)>,
+    }
+
+    impl EngineSink for Collect {
+        fn output(&mut self, stream: u64, out: &StepOutput) {
+            self.outputs.push((stream, *out));
+        }
+    }
+
+    #[test]
+    fn first_contact_admits_and_channel_width_comes_from_the_frame() {
+        let mut engine = IngestEngine::new(
+            template(4, 30),
+            FleetConfig::default(),
+            EngineConfig::default(),
+        );
+        let mut sink = Collect { outputs: Vec::new() };
+        engine.ingest(&frame(99, &[0.5, 1.0, -0.5]), &mut sink);
+        engine.ingest(&frame(7, &[0.5]), &mut sink);
+        assert_eq!(engine.fleet().live(), 2);
+        let id99 = engine.stream_id(99).unwrap();
+        assert_eq!(engine.fleet().detector(id99).config().channels, 3);
+        let id7 = engine.stream_id(7).unwrap();
+        assert_eq!(engine.fleet().detector(id7).config().channels, 1);
+        // A later frame with the wrong width is counted and ignored.
+        engine.ingest(&frame(99, &[1.0]), &mut sink);
+        assert_eq!(engine.stats().channel_mismatches, 1);
+        assert_eq!(engine.stats().frames, 3);
+    }
+
+    #[test]
+    fn live_stream_cap_rejects_new_ids_but_serves_known_ones() {
+        let cfg = EngineConfig { max_streams: 1, ..EngineConfig::default() };
+        let mut engine = IngestEngine::new(template(4, 10), FleetConfig::default(), cfg);
+        let mut sink = Collect { outputs: Vec::new() };
+        engine.ingest(&frame(1, &[0.1]), &mut sink);
+        engine.ingest(&frame(2, &[0.2]), &mut sink);
+        engine.ingest(&frame(1, &[0.3]), &mut sink);
+        let stats = engine.stats();
+        assert_eq!(engine.fleet().live(), 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.fleet.admitted, 1);
+    }
+
+    #[test]
+    fn idle_streams_retire_and_return_on_next_contact() {
+        let cfg = EngineConfig { idle_rounds: Some(4), ..EngineConfig::default() };
+        let mut engine = IngestEngine::new(template(4, 10), FleetConfig::default(), cfg);
+        let mut sink = Collect { outputs: Vec::new() };
+        // Two streams; stream 2 goes quiet while stream 1 keeps rounds
+        // ticking.
+        for t in 0..6 {
+            engine.ingest(&frame(1, &[t as f64]), &mut sink);
+            engine.ingest(&frame(2, &[t as f64]), &mut sink);
+        }
+        assert_eq!(engine.fleet().live(), 2);
+        for t in 6..20 {
+            engine.ingest(&frame(1, &[t as f64]), &mut sink);
+        }
+        assert_eq!(engine.fleet().live(), 1, "idle stream 2 was retired");
+        assert!(engine.stream_id(2).is_none());
+        assert_eq!(engine.stats().idle_retired, 1);
+        // Stream 2 comes back: admitted afresh under a new fleet id.
+        engine.ingest(&frame(2, &[0.0]), &mut sink);
+        assert_eq!(engine.fleet().live(), 2);
+        assert_eq!(engine.stats().fleet.admitted, 3);
+    }
+
+    #[test]
+    fn finish_flushes_every_queued_frame() {
+        // Large round budget: nothing drains during ingest.
+        let cfg = EngineConfig { round_frames: 1000, ..EngineConfig::default() };
+        let mut engine = IngestEngine::new(template(4, 6), FleetConfig::default(), cfg);
+        let mut sink = Collect { outputs: Vec::new() };
+        for t in 0..20 {
+            engine.ingest(&frame(1, &[(t as f64 * 0.4).sin()]), &mut sink);
+        }
+        assert_eq!(engine.stats().rounds, 0, "round budget not reached");
+        engine.finish(&mut sink);
+        assert_eq!(engine.stats().fleet.steps, 20, "finish served the whole backlog");
+        // warm-up 6 → 14 post-warm-up outputs, all for wire id 1.
+        assert_eq!(sink.outputs.len(), 14);
+        assert!(sink.outputs.iter().all(|(id, _)| *id == 1));
+    }
+}

@@ -1,0 +1,191 @@
+//! Allocation-count guard for the steady-state ingest path.
+//!
+//! Extends the counting-allocator pattern of `sad-fleet/tests/zero_alloc.rs`
+//! one layer up: once every stream has been admitted and every reusable
+//! buffer (transport body/line buffer, `Frame::values`, ring queues,
+//! batch workspaces, output slots) has reached steady-state capacity, a
+//! full wire step — `Transport::next` decode, route lookup, `offer`,
+//! and the scheduled `drain_round` with its idle sweep — must not
+//! allocate at all. Admission and retirement are the only allocating
+//! paths, and both are per-entity-lifetime events.
+//!
+//! Both framings are pinned: the binary decoder reads into a reused body
+//! buffer, and the CSV decoder parses floats out of a reused line buffer.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+impl CountingAllocator {
+    fn record() {
+        let _ = ARMED.try_with(|armed| {
+            if armed.get() {
+                let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn count_allocs(f: impl FnOnce()) -> usize {
+    ALLOCS.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
+    f();
+    ARMED.with(|a| a.set(false));
+    ALLOCS.with(|c| c.get())
+}
+
+use std::io::Cursor;
+use sad_core::{AlgorithmSpec, DetectorConfig, ModelKind, ScoreKind, Task1, Task2};
+use sad_fleet::FleetConfig;
+use sad_ingest::{
+    CsvTransport, DetectorTemplate, EngineConfig, Frame, FrameWriter, FramedTransport, Framing,
+    IngestEngine, Transport,
+};
+use sad_models::BuildParams;
+
+const CHANNELS: usize = 2;
+const STREAMS: usize = 2;
+const SETTLE_ROUNDS: usize = 192;
+const ARMED_ROUNDS: usize = 256;
+
+/// Stationary stream, periodic with the detector's window length (8):
+/// constant training-set statistics, so μ/σ-Change never fires and the
+/// armed window is pure steady-state serving (training allocates, and is
+/// exactly what this guard must not see).
+fn stream_vector(t: usize) -> [f64; CHANNELS] {
+    let phase = std::f64::consts::TAU * (t % 8) as f64 / 8.0;
+    [phase.sin(), phase.cos() * 0.5]
+}
+
+fn engine() -> IngestEngine {
+    let spec = AlgorithmSpec {
+        model: ModelKind::TwoLayerAe,
+        task1: Task1::SlidingWindow,
+        task2: Task2::MuSigma,
+    };
+    let config = DetectorConfig {
+        window: 8,
+        channels: CHANNELS,
+        warmup: 64,
+        initial_epochs: 1,
+        fine_tune_epochs: 1,
+    };
+    let params =
+        BuildParams::new(config).with_capacity(16).with_score(ScoreKind::Raw).with_seed(11);
+    // An armed idle sweep runs every round (nothing qualifies — both
+    // streams send every round), proving the sweep itself is alloc-free.
+    let cfg = EngineConfig { idle_rounds: Some(10_000), ..EngineConfig::default() };
+    IngestEngine::new(DetectorTemplate::new(spec, params), FleetConfig::default(), cfg)
+}
+
+/// Interleaved wire bytes for `rounds` rounds starting at step `t0`.
+fn wire_bytes(framing: Framing, t0: usize, rounds: usize) -> Vec<u8> {
+    let mut writer = FrameWriter::new(Vec::new(), framing);
+    for t in t0..t0 + rounds {
+        let s = stream_vector(t);
+        for i in 0..STREAMS {
+            writer.send(i as u64, &s).expect("in-memory write");
+        }
+    }
+    writer.into_inner()
+}
+
+/// Pumps exactly `frames` frames from the transport into the engine,
+/// reusing the caller's decode buffer.
+fn pump(
+    transport: &mut dyn Transport,
+    frame: &mut Frame,
+    engine: &mut IngestEngine,
+    outputs: &Cell<usize>,
+    frames: usize,
+) {
+    let mut sink = |_: u64, _: &sad_core::StepOutput| outputs.set(outputs.get() + 1);
+    for _ in 0..frames {
+        assert!(transport.next(frame).expect("well-formed wire"), "wire ended early");
+        engine.ingest(frame, &mut sink);
+    }
+}
+
+fn steady_state_is_allocation_free(framing: Framing) {
+    let mut engine = engine();
+    let outputs = Cell::new(0usize);
+    let mut frame = Frame::default();
+
+    // One continuous wire: the same transport (and decode buffers) carry
+    // both phases, exactly like a long-lived connection.
+    let wire = wire_bytes(framing, 0, SETTLE_ROUNDS + ARMED_ROUNDS);
+    let mut binary;
+    let mut csv;
+    let transport: &mut dyn Transport = match framing {
+        Framing::Binary => {
+            binary = FramedTransport::new(Cursor::new(wire));
+            &mut binary
+        }
+        Framing::Csv => {
+            csv = CsvTransport::new(Cursor::new(wire));
+            &mut csv
+        }
+    };
+
+    // Settle: admission, warm-up (64), cohort formation, and every
+    // reusable buffer stretched to steady-state capacity.
+    pump(transport, &mut frame, &mut engine, &outputs, SETTLE_ROUNDS * STREAMS);
+    let settled = engine.stats();
+    assert_eq!(settled.fleet.admitted, STREAMS, "both streams admitted during settle");
+    assert!(settled.fleet.batched_rows > 0, "cohort must have formed during settle: {settled:?}");
+
+    // Armed: the full wire step — decode, route, offer, drain — on
+    // already-live streams.
+    let n = count_allocs(|| {
+        pump(transport, &mut frame, &mut engine, &outputs, ARMED_ROUNDS * STREAMS);
+    });
+    assert_eq!(n, 0, "steady-state {framing:?} ingest must not allocate, saw {n}");
+
+    // And the armed window really served every frame through the engine.
+    let stats = engine.stats();
+    assert_eq!(stats.frames - settled.frames, ARMED_ROUNDS * STREAMS);
+    assert_eq!(stats.fleet.steps - settled.fleet.steps, ARMED_ROUNDS * STREAMS);
+    assert_eq!(stats.fleet.admitted, STREAMS, "no re-admission while armed");
+    assert_eq!(stats.idle_retired, 0, "nothing idles while both streams send");
+    assert!(outputs.get() > 0, "post-warm-up outputs flowed through the sink");
+}
+
+#[test]
+fn steady_state_binary_ingest_is_allocation_free() {
+    steady_state_is_allocation_free(Framing::Binary);
+}
+
+#[test]
+fn steady_state_csv_ingest_is_allocation_free() {
+    steady_state_is_allocation_free(Framing::Csv);
+}

@@ -1,0 +1,113 @@
+//! Replay client for `streamad serve`: streams labelled series as wire
+//! frames — over TCP to a listening server, or to stdout for piping into
+//! `serve --stdin`. The encoding itself is the library's reusable replay
+//! client ([`streamad::ingest::replay_interleaved`] over a
+//! [`streamad::ingest::FrameWriter`]), the same building block the parity
+//! suite and the `ingest_throughput` bench drive.
+//!
+//! With a CSV file, every wire stream replays the file verbatim (ids
+//! `0..N` — identical replicas, so the server fleet stays in one batching
+//! cohort). Without one, each stream gets its own series of a synthetic
+//! SMD-like corpus (38 channels, heterogeneous servers).
+//!
+//! ```sh
+//! # terminal 1: a server that exits after one connection
+//! streamad serve --listen 127.0.0.1:7650 --warmup 200 --max-conns 1
+//! # terminal 2: eight synthetic servers over TCP
+//! cargo run --release --example serve_client -- --connect 127.0.0.1:7650 --streams 8
+//!
+//! # or pipe over stdin, CSV framing:
+//! cargo run --release --example serve_client -- data.csv --csv \
+//!   | streamad serve --stdin --csv --warmup 200
+//! ```
+
+use std::io::{BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use streamad::data::csv::load_csv;
+use streamad::data::{smd_like, CorpusParams, LabeledSeries};
+use streamad::ingest::{replay_interleaved, FrameWriter, Framing};
+
+fn run() -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut streams: usize = 4;
+    let mut length: usize = 600;
+    let mut framing = Framing::Binary;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value =
+            |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--streams" => {
+                streams = value("--streams")?.parse().map_err(|e| format!("--streams: {e}"))?;
+                if streams == 0 {
+                    return Err("--streams needs at least one stream".into());
+                }
+            }
+            "--length" => {
+                length = value("--length")?.parse().map_err(|e| format!("--length: {e}"))?
+            }
+            "--csv" => framing = Framing::Csv,
+            "--help" | "-h" => {
+                return Err("usage: serve_client [data.csv] [--connect ADDR] [--streams N] \
+                            [--length N] [--csv]"
+                    .into())
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    // One source per wire stream: a CSV replays as N identical replicas,
+    // the synthetic corpus gives every stream its own server.
+    let sources: Vec<LabeledSeries> = match &path {
+        Some(p) => {
+            let series = load_csv(p).map_err(|e| format!("failed to load {p}: {e}"))?;
+            vec![series; streams]
+        }
+        None => {
+            let params = CorpusParams {
+                length,
+                n_series: streams,
+                anomalies_per_series: 2,
+                with_drift: false,
+            };
+            smd_like(7, params).series
+        }
+    };
+    let pairs: Vec<(u64, &LabeledSeries)> =
+        sources.iter().enumerate().map(|(i, s)| (i as u64, s)).collect();
+
+    let sink: Box<dyn Write> = match &connect {
+        Some(addr) => Box::new(
+            TcpStream::connect(addr).map_err(|e| format!("could not connect {addr}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut writer = FrameWriter::new(BufWriter::new(sink), framing);
+    let frames =
+        replay_interleaved(&mut writer, &pairs).map_err(|e| format!("replay failed: {e}"))?;
+    writer.flush().map_err(|e| format!("flush failed: {e}"))?;
+    eprintln!(
+        "replayed {frames} frames across {} streams ({} framing) to {}",
+        pairs.len(),
+        match framing {
+            Framing::Binary => "binary",
+            Framing::Csv => "csv",
+        },
+        connect.as_deref().unwrap_or("stdout"),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

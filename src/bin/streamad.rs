@@ -24,14 +24,35 @@
 //! counters and latency histograms) as a JSON snapshot on exit, and
 //! `--metrics-every N` prints a compact metrics line to stderr every `N`
 //! fleet rounds.
+//!
+//! ## Serving over the wire
+//!
+//! `streamad serve` runs the ingestion engine instead of a file replay:
+//! frames arrive over TCP (`--listen ADDR`) or stdin (`--stdin`), each
+//! unknown stream id admits a freshly built detector (channel count taken
+//! from its first frame), idle streams retire after `--idle-rounds`, and
+//! full per-stream queues resolve under `--policy block|drop-newest|
+//! drop-oldest`. Detections at or above `--threshold` print to stdout as
+//! they happen; `--metrics-json` snapshots are flushed on EOF, after
+//! every connection, *and* on dirty disconnects, so an interrupted server
+//! still leaves its final counters behind.
+//!
+//! ```sh
+//! streamad serve --stdin < frames.bin
+//! streamad serve --listen 127.0.0.1:7650 --shards 4 --idle-rounds 2000
+//! ```
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
-use streamad::core::{paper_algorithms, AlgorithmSpec, DetectorConfig, ScoreKind};
+use streamad::core::{paper_algorithms, AlgorithmSpec, DetectorConfig, ScoreKind, StepOutput};
 use streamad::data::csv::load_csv;
 use streamad::data::LabeledSeries;
 use streamad::fleet::{DetectorFleet, FleetConfig};
+use streamad::ingest::{
+    BackpressurePolicy, CsvTransport, DetectorTemplate, EngineConfig, EngineSink, FramedTransport,
+    IngestEngine, IngestStats,
+};
 use streamad::metrics::{best_f1, intervals_from_labels, nab_score, pr_auc, vus_pr};
 use streamad::models::{build_detector, BuildParams};
 use streamad::obs::{Histogram, Registry};
@@ -52,6 +73,15 @@ struct Args {
     f32_infer: bool,
     metrics_json: Option<String>,
     metrics_every: Option<usize>,
+    serve: bool,
+    listen: Option<String>,
+    stdin: bool,
+    csv: bool,
+    policy: BackpressurePolicy,
+    idle_rounds: Option<u64>,
+    max_streams: usize,
+    queue_cap: usize,
+    max_conns: usize,
 }
 
 fn score_name(score: ScoreKind) -> &'static str {
@@ -96,6 +126,15 @@ fn parse_args() -> Result<Args, String> {
         f32_infer: false,
         metrics_json: None,
         metrics_every: None,
+        serve: false,
+        listen: None,
+        stdin: false,
+        csv: false,
+        policy: BackpressurePolicy::Block,
+        idle_rounds: None,
+        max_streams: 65_536,
+        queue_cap: 4,
+        max_conns: 0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -135,6 +174,48 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-batch" => args.no_batch = true,
             "--f32-infer" => args.f32_infer = true,
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--stdin" => args.stdin = true,
+            "--csv" => args.csv = true,
+            "--policy" => {
+                args.policy = match value("--policy")?.as_str() {
+                    "block" => BackpressurePolicy::Block,
+                    "drop-newest" => BackpressurePolicy::DropNewest,
+                    "drop-oldest" => BackpressurePolicy::DropOldest,
+                    other => {
+                        return Err(format!(
+                            "unknown policy {other:?} (block|drop-newest|drop-oldest)"
+                        ))
+                    }
+                }
+            }
+            "--idle-rounds" => {
+                let n: u64 = value("--idle-rounds")?
+                    .parse()
+                    .map_err(|e| format!("--idle-rounds: {e}"))?;
+                if n == 0 {
+                    return Err("--idle-rounds must be positive".into());
+                }
+                args.idle_rounds = Some(n);
+            }
+            "--max-streams" => {
+                args.max_streams =
+                    value("--max-streams")?.parse().map_err(|e| format!("--max-streams: {e}"))?;
+                if args.max_streams == 0 {
+                    return Err("--max-streams must be positive".into());
+                }
+            }
+            "--queue-cap" => {
+                args.queue_cap =
+                    value("--queue-cap")?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
+                if args.queue_cap == 0 {
+                    return Err("--queue-cap must be positive".into());
+                }
+            }
+            "--max-conns" => {
+                args.max_conns =
+                    value("--max-conns")?.parse().map_err(|e| format!("--max-conns: {e}"))?
+            }
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--metrics-every" => {
                 let n: usize = value("--metrics-every")?
@@ -157,10 +238,16 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: streamad <csv> [--algo N] [--window W] [--warmup N] \
                             [--capacity M] [--score raw|avg|al] [--threshold T] [--seed S] \
                             [--fleet N [--shards S] [--no-batch] [--f32-infer] \
-                            [--metrics-every N]] [--metrics-json PATH] [--list]"
+                            [--metrics-every N]] [--metrics-json PATH] [--list]\n\
+                            \x20      streamad serve (--listen ADDR [--max-conns N] | --stdin) \
+                            [--csv] [--policy block|drop-newest|drop-oldest] [--idle-rounds N] \
+                            [--max-streams N] [--queue-cap N] [--algo N] [--window W] \
+                            [--warmup N] [--shards S] [--no-batch] [--f32-infer] \
+                            [--metrics-json PATH] [--metrics-every N]"
                     .into())
             }
-            other if !other.starts_with('-') && args.path.is_none() => {
+            "serve" if !args.serve && args.path.is_none() => args.serve = true,
+            other if !other.starts_with('-') && args.path.is_none() && !args.serve => {
                 args.path = Some(other.to_string())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -184,10 +271,6 @@ fn main() -> ExitCode {
         let _ = std::io::stdout().write_all(algorithm_table(&specs, &args).as_bytes());
         return ExitCode::SUCCESS;
     }
-    let Some(path) = &args.path else {
-        eprintln!("no input file (try --help)");
-        return ExitCode::FAILURE;
-    };
     if args.algo >= specs.len() {
         // Show the whole table, not just the bound — the index→algorithm
         // mapping is exactly what the user is missing here.
@@ -199,6 +282,13 @@ fn main() -> ExitCode {
         let _ = std::io::stderr().write_all(msg.as_bytes());
         return ExitCode::FAILURE;
     }
+    if args.serve {
+        return run_serve(&args, specs[args.algo]);
+    }
+    let Some(path) = &args.path else {
+        eprintln!("no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
     let series = match load_csv(path) {
         Ok(s) => s,
         Err(e) => {
@@ -324,6 +414,204 @@ fn write_metrics_json(path: &str, reg: &Registry) -> bool {
         Err(e) => {
             eprintln!("could not write {path}: {e}");
             false
+        }
+    }
+}
+
+/// Serve-mode sink: prints detections at or above the threshold as they
+/// happen, plus the periodic `--metrics-every` stderr line.
+struct ServeSink {
+    threshold: f64,
+    every: Option<u64>,
+    outputs: u64,
+    detections: u64,
+}
+
+impl EngineSink for ServeSink {
+    fn output(&mut self, stream: u64, out: &StepOutput) {
+        self.outputs += 1;
+        if out.anomaly_score >= self.threshold {
+            self.detections += 1;
+            println!(
+                "detect stream={} t={} score={:.3}{}",
+                stream,
+                out.t,
+                out.anomaly_score,
+                if out.drift { " drift" } else { "" },
+            );
+        }
+    }
+
+    fn round(&mut self, rounds: u64, stats: &IngestStats) {
+        if let Some(every) = self.every {
+            if rounds.is_multiple_of(every) {
+                eprintln!(
+                    "[metrics] round {}: {} frames, {} steps, {} live streams, \
+                     {} dropped, {} detections",
+                    rounds,
+                    stats.frames,
+                    stats.fleet.steps,
+                    stats.fleet.admitted - stats.fleet.retired,
+                    stats.fleet.bp_dropped_newest + stats.fleet.bp_dropped_oldest,
+                    self.detections,
+                );
+            }
+        }
+    }
+}
+
+/// `streamad serve`: run the ingestion engine over TCP or stdin. Streams
+/// admit on first contact (channel count from the first frame) and retire
+/// after `--idle-rounds`; the engine — and so every stream's detector
+/// state — persists across TCP connections.
+fn run_serve(args: &Args, spec: AlgorithmSpec) -> ExitCode {
+    if args.stdin == args.listen.is_some() {
+        eprintln!("serve needs exactly one of --stdin or --listen ADDR (try --help)");
+        return ExitCode::FAILURE;
+    }
+    // Channel count is a placeholder: the template stamps each stream's
+    // real width from its first frame.
+    let config = DetectorConfig {
+        window: args.window,
+        channels: 1,
+        warmup: args.warmup,
+        initial_epochs: 10,
+        fine_tune_epochs: 1,
+    };
+    let params = BuildParams::new(config)
+        .with_capacity(args.capacity)
+        .with_score(args.score)
+        .with_seed(args.seed);
+    let fleet_config = FleetConfig {
+        shards: args.shards,
+        batching: !args.no_batch,
+        parallel: false,
+        queue_capacity: args.queue_cap,
+        f32_infer: args.f32_infer,
+        telemetry: true,
+    };
+    let engine_config = EngineConfig {
+        policy: args.policy,
+        idle_rounds: args.idle_rounds,
+        round_frames: 0,
+        max_streams: args.max_streams,
+    };
+    let mut engine = IngestEngine::new(DetectorTemplate::new(spec, params), fleet_config, engine_config);
+    let mut sink = ServeSink {
+        threshold: args.threshold,
+        every: args.metrics_every.map(|n| n as u64),
+        outputs: 0,
+        detections: 0,
+    };
+    eprintln!(
+        "serving {} ({} framing, {:?} back-pressure, {} shard(s), batching {}{})",
+        spec.label(),
+        if args.csv { "csv" } else { "binary" },
+        args.policy,
+        args.shards,
+        if args.no_batch { "off" } else { "on" },
+        if !args.no_batch && args.f32_infer { ", f32 inference" } else { "" },
+    );
+
+    let started = Instant::now();
+    let clean = if args.stdin {
+        let stdin = std::io::stdin();
+        let result = if args.csv {
+            engine.run(&mut CsvTransport::new(stdin.lock()), &mut sink)
+        } else {
+            engine.run(&mut FramedTransport::new(stdin.lock()), &mut sink)
+        };
+        match result {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("stdin stream failed: {e}");
+                false
+            }
+        }
+    } else {
+        serve_listener(args, &mut engine, &mut sink)
+    };
+
+    // Final snapshot no matter how the stream ended — a dirty disconnect
+    // must still leave the counters behind.
+    if let Some(path) = &args.metrics_json {
+        if !write_metrics_json(path, &engine.export_metrics()) {
+            return ExitCode::FAILURE;
+        }
+    }
+    let stats = engine.stats();
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "served {} frames as {} detector steps over {} rounds ({:.0} frames/s)",
+        stats.frames,
+        stats.fleet.steps,
+        stats.rounds,
+        stats.frames as f64 / secs.max(1e-9),
+    );
+    eprintln!(
+        "streams: {} admitted, {} idle-retired; {} frames dropped, {} rejected; \
+         {} outputs, {} detections",
+        stats.fleet.admitted,
+        stats.idle_retired,
+        stats.fleet.bp_dropped_newest + stats.fleet.bp_dropped_oldest,
+        stats.rejected,
+        sink.outputs,
+        sink.detections,
+    );
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Accepts TCP connections sequentially into one shared engine. A client
+/// dying mid-frame is logged and the server keeps listening (its backlog
+/// is still drained and the metrics snapshot still flushed); with
+/// `--max-conns N` the server exits after `N` connections.
+fn serve_listener(args: &Args, engine: &mut IngestEngine, sink: &mut ServeSink) -> bool {
+    let addr = args.listen.as_deref().expect("listen mode");
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("could not bind {addr}: {e}");
+            return false;
+        }
+    };
+    match listener.local_addr() {
+        Ok(a) => eprintln!("listening on {a}"),
+        Err(_) => eprintln!("listening on {addr}"),
+    }
+    let mut clean = true;
+    let mut conns = 0usize;
+    loop {
+        let (socket, peer) = match listener.accept() {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                return false;
+            }
+        };
+        conns += 1;
+        let result = if args.csv {
+            engine.run(&mut CsvTransport::new(&socket), sink)
+        } else {
+            engine.run(&mut FramedTransport::new(&socket), sink)
+        };
+        match result {
+            Ok(()) => eprintln!("connection {conns} from {peer} drained cleanly"),
+            Err(e) => {
+                eprintln!("connection {conns} from {peer} failed: {e}");
+                clean = false;
+            }
+        }
+        // Keep the on-disk snapshot current between connections so an
+        // interrupted server still leaves its latest counters.
+        if let Some(path) = &args.metrics_json {
+            write_metrics_json(path, &engine.export_metrics());
+        }
+        if args.max_conns > 0 && conns >= args.max_conns {
+            return clean;
         }
     }
 }

@@ -33,6 +33,7 @@
 //! | [`core`] | the framework: data representation, Task-1/Task-2 learning strategies, nonconformity, anomaly scoring, the [`core::Detector`] pipeline, the Table I registry |
 //! | [`models`] | online ARIMA, VAR, PCB-iForest, 2-layer AE, USAD, N-BEATS + the spec→detector builder |
 //! | [`fleet`] | multi-stream serving: the sharded [`fleet::DetectorFleet`] with cross-stream batched NN stepping |
+//! | [`ingest`] | serving over the wire: framed transports, back-pressure, dynamic admission feeding the fleet |
 //! | [`metrics`] | range precision/recall, PR-AUC, NAB, VUS |
 //! | [`obs`] | zero-alloc telemetry substrate: metric registry, histograms, Prometheus/JSON exporters |
 //! | [`data`] | synthetic Daphnet/Exathlon/SMD-like corpora, injectors, CSV I/O |
@@ -45,6 +46,7 @@ pub use sad_core as core;
 pub use sad_data as data;
 pub use sad_fleet as fleet;
 pub use sad_forest as forest;
+pub use sad_ingest as ingest;
 pub use sad_metrics as metrics;
 pub use sad_models as models;
 pub use sad_nn as nn;

@@ -189,3 +189,81 @@ fn fleet_no_batch_serves_scalar_only() {
         "batching off serves everything scalar: {stdout}",
     );
 }
+
+/// A binary frame file replaying `streams` interleaved sine streams of
+/// `len` steps each (2 channels), via the library's own replay encoder.
+fn write_frames(name: &str, streams: usize, len: usize) -> std::path::PathBuf {
+    use streamad::ingest::{FrameWriter, Framing};
+    let mut writer = FrameWriter::new(Vec::new(), Framing::Binary);
+    for t in 0..len {
+        for i in 0..streams {
+            let x = t as f64 * 0.09 + i as f64 * 0.5;
+            writer.send(i as u64, &[x.sin(), (x * 0.63).cos()]).expect("in-memory encode");
+        }
+    }
+    let path = std::env::temp_dir()
+        .join(format!("streamad-cli-smoke-{name}-{}.bin", std::process::id()));
+    std::fs::write(&path, writer.into_inner()).expect("temp frame file is writable");
+    path
+}
+
+#[test]
+fn serve_stdin_admits_streams_and_flushes_metrics() {
+    let frames = write_frames("serve", 3, 200);
+    let json_path = std::env::temp_dir()
+        .join(format!("streamad-cli-smoke-serve-{}.json", std::process::id()));
+    let out = streamad()
+        .args(["serve", "--stdin", "--window", "6", "--warmup", "60", "--capacity", "16"])
+        .args(["--threshold", "0", "--shards", "2"])
+        .args(["--metrics-json", json_path.to_str().unwrap()])
+        .stdin(std::fs::File::open(&frames).expect("frame file opens"))
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&frames).ok();
+    let json = std::fs::read_to_string(&json_path).expect("--metrics-json wrote the snapshot");
+    std::fs::remove_file(&json_path).ok();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // --threshold 0 prints every post-warm-up output: 3 x (200 - 60).
+    assert_eq!(
+        stdout.lines().filter(|l| l.starts_with("detect stream=")).count(),
+        3 * 140,
+        "one detect line per post-warm-up step: {stdout}",
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("served 600 frames as 600 detector steps"), "summary: {stderr}");
+    assert!(stderr.contains("3 admitted"), "dynamic admission: {stderr}");
+    // The snapshot carries the engine families next to the fleet's.
+    assert!(json.contains("\"sad_ingest_frames_total\": 600"), "engine counter: {json}");
+    assert!(json.contains("\"sad_fleet_steps_total\": 600"), "fleet counter: {json}");
+    assert!(json.contains("\"sad_fleet_admitted_total\": 3"), "admission counter: {json}");
+}
+
+#[test]
+fn serve_stdin_dirty_disconnect_still_flushes_metrics() {
+    let frames = write_frames("servecut", 2, 80);
+    // Cut the stream mid-frame: a dirty disconnect, not a clean EOF.
+    let mut bytes = std::fs::read(&frames).unwrap();
+    let cut = bytes.len() - 5;
+    bytes.truncate(cut);
+    std::fs::write(&frames, &bytes).unwrap();
+    let json_path = std::env::temp_dir()
+        .join(format!("streamad-cli-smoke-servecut-{}.json", std::process::id()));
+    let out = streamad()
+        .args(["serve", "--stdin", "--window", "6", "--warmup", "60", "--capacity", "16"])
+        .args(["--metrics-json", json_path.to_str().unwrap()])
+        .stdin(std::fs::File::open(&frames).expect("frame file opens"))
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&frames).ok();
+    let json = std::fs::read_to_string(&json_path);
+    std::fs::remove_file(&json_path).ok();
+    assert!(!out.status.success(), "a truncated frame must fail the serve");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("stream ended inside a frame"), "names the failure: {stderr}");
+    // The bugfix under test: the snapshot still lands after the error,
+    // with every complete frame (2 x 80 - 1 truncated) accounted for.
+    let json = json.expect("interrupted serve still flushes --metrics-json");
+    assert!(json.contains("\"sad_ingest_frames_total\": 159"), "engine counter: {json}");
+    assert!(stderr.contains("served 159 frames"), "backlog still drained: {stderr}");
+}
